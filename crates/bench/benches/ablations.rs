@@ -1,0 +1,68 @@
+//! Design-choice ablations DESIGN.md calls out: pinned vs shared vCPU
+//! placement, poll-mode vs interrupt backends, and offload levels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bmhive_cpu::catalog::XEON_E5_2682_V4;
+use bmhive_cpu::{CpuWork, Platform, VirtTax};
+use bmhive_hypervisor::BackendMode;
+use bmhive_iobond::OffloadConfig;
+use bmhive_workloads::env::GuestEnv;
+use bmhive_workloads::mariadb::{run_mariadb, QueryMix};
+
+fn bench_ablations(c: &mut Criterion) {
+    // Pinned (exclusive) vs shared vCPU placement: the Fig. 1 knob
+    // applied to an application.
+    let mut group = c.benchmark_group("ablation_vcpu_placement");
+    for (label, tax) in [
+        ("pinned", VirtTax::pinned_default()),
+        ("shared", VirtTax::shared_default()),
+    ] {
+        group.bench_function(format!("spec_like_work_{label}"), |b| {
+            let platform = Platform::Vm {
+                proc: XEON_E5_2682_V4,
+                tax,
+            };
+            let work = CpuWork {
+                cycles: 1e8,
+                mem_refs: 8e5,
+                bytes_streamed: 0.0,
+            };
+            b.iter(|| black_box(platform.execute(black_box(&work))))
+        });
+    }
+    group.bench_function("mariadb_rw_vm_guest", |b| {
+        b.iter(|| {
+            let mut vm = GuestEnv::vm(1);
+            black_box(run_mariadb(&mut vm, QueryMix::ReadWrite))
+        })
+    });
+    group.finish();
+
+    // PMD vs interrupt backends.
+    let mut group = c.benchmark_group("ablation_backend_mode");
+    for mode in BackendMode::ALL {
+        for batch in [1u32, 16, 64] {
+            group.bench_function(format!("{mode:?}_batch{batch}"), |b| {
+                b.iter(|| black_box(mode.added_latency(black_box(batch))))
+            });
+        }
+    }
+    group.finish();
+
+    // Offload levels.
+    let mut group = c.benchmark_group("ablation_offload");
+    for (label, cfg) in [
+        ("deployed", OffloadConfig::deployed()),
+        ("full", OffloadConfig::full()),
+    ] {
+        group.bench_function(format!("base_cores_{label}"), |b| {
+            b.iter(|| black_box(cfg.base_cores_needed(black_box(16), black_box(1e6))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Figs. 12–16 bench: the application workloads (NGINX, MariaDB, Redis).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bmhive_workloads::env::GuestEnv;
+use bmhive_workloads::mariadb::{run_mariadb, QueryMix};
+use bmhive_workloads::nginx::{run_nginx, CLIENT_SWEEP};
+use bmhive_workloads::redis::{
+    run_redis_clients, run_redis_sizes, CLIENT_SWEEP as REDIS_CLIENTS, SIZE_SWEEP,
+};
+
+fn bench_apps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_nginx");
+    group.bench_function("client_sweep_bm", |b| {
+        b.iter(|| {
+            let mut env = GuestEnv::bm(1);
+            black_box(run_nginx(&mut env, &CLIENT_SWEEP))
+        })
+    });
+    group.bench_function("client_sweep_vm", |b| {
+        b.iter(|| {
+            let mut env = GuestEnv::vm(1);
+            black_box(run_nginx(&mut env, &CLIENT_SWEEP))
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("fig13_14_mariadb");
+    for mix in QueryMix::ALL {
+        group.bench_function(format!("{:?}_both_guests", mix), |b| {
+            b.iter(|| {
+                let mut bm = GuestEnv::bm(2);
+                let mut vm = GuestEnv::vm(2);
+                black_box((run_mariadb(&mut bm, mix), run_mariadb(&mut vm, mix)))
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig15_16_redis");
+    group.bench_function("client_sweep_both", |b| {
+        b.iter(|| {
+            let mut bm = GuestEnv::bm(3);
+            let mut vm = GuestEnv::vm(3);
+            black_box((
+                run_redis_clients(&mut bm, &REDIS_CLIENTS, 64),
+                run_redis_clients(&mut vm, &REDIS_CLIENTS, 64),
+            ))
+        })
+    });
+    group.bench_function("size_sweep_bm", |b| {
+        b.iter(|| {
+            let mut env = GuestEnv::bm(4);
+            black_box(run_redis_sizes(&mut env, &SIZE_SWEEP, 10))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_apps);
+criterion_main!(benches);

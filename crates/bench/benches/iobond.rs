@@ -1,0 +1,60 @@
+//! §3.4.3 / §6 bench: IO-Bond's data path, FPGA vs ASIC (the ablation
+//! DESIGN.md calls out), plus Table 2 / Fig. 1 fleet sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bmhive_cloud::fleet::{ExitCensus, PreemptionStudy};
+use bmhive_cloud::limits::InstanceLimits;
+use bmhive_hypervisor::BmGuestSession;
+use bmhive_iobond::{steps, IoBondProfile};
+use bmhive_net::{MacAddr, PacketKind};
+use bmhive_sim::SimTime;
+
+fn bench_iobond(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iobond_path");
+    for (label, profile) in [
+        ("fpga", IoBondProfile::fpga()),
+        ("asic", IoBondProfile::asic()),
+    ] {
+        group.bench_function(format!("fig6_steps_{label}"), |b| {
+            b.iter(|| black_box(steps::total_latency(&steps::tx_rx_steps(&profile, 64, 64))))
+        });
+        group.bench_function(format!("functional_net_send_{label}"), |b| {
+            let mut session = BmGuestSession::new(
+                profile,
+                MacAddr::for_guest(1),
+                64,
+                InstanceLimits::unrestricted(),
+            );
+            let mut t = SimTime::ZERO;
+            b.iter(|| {
+                let (egress, timing) = session
+                    .net_send(MacAddr::for_guest(2), PacketKind::Udp, b"bench", t)
+                    .expect("send");
+                t = timing.completed;
+                black_box(egress.packet.payload)
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fleet_models");
+    group.sample_size(10);
+    group.bench_function("table2_census_300k_vms", |b| {
+        b.iter(|| {
+            black_box(ExitCensus::run(
+                300_000,
+                &[10_000.0, 50_000.0, 100_000.0],
+                1,
+            ))
+        })
+    });
+    group.bench_function("fig1_preemption_20k_vms_24h", |b| {
+        b.iter(|| black_box(PreemptionStudy::run(20_000, 1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_iobond);
+criterion_main!(benches);

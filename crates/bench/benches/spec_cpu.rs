@@ -1,0 +1,35 @@
+//! Fig. 7 bench: SPEC CINT2006 on the three platforms.
+//!
+//! Criterion measures the harness itself; the *reported* numbers (the
+//! figure's content) are printed by `repro fig7`. Keeping the sweep in a
+//! bench guards against performance regressions in the platform models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bmhive_cpu::catalog::XEON_E5_2682_V4;
+use bmhive_cpu::spec::SPEC_CINT2006;
+use bmhive_cpu::Platform;
+use bmhive_workloads::spec::run_spec;
+
+fn bench_spec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_spec_cint2006");
+    group.bench_function("full_suite_three_platforms", |b| {
+        b.iter(|| black_box(run_spec()))
+    });
+    let phys = Platform::Physical {
+        proc: XEON_E5_2682_V4,
+    };
+    let bm = Platform::bm_guest(XEON_E5_2682_V4);
+    let vm = Platform::vm_guest(XEON_E5_2682_V4);
+    for (label, platform) in [("physical", phys), ("bm_guest", bm), ("vm_guest", vm)] {
+        group.bench_function(format!("mcf_on_{label}"), |b| {
+            let mcf = SPEC_CINT2006.iter().find(|x| x.name == "mcf").unwrap();
+            b.iter(|| black_box(mcf.runtime_secs(black_box(&platform))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spec);
+criterion_main!(benches);

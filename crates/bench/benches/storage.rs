@@ -1,0 +1,43 @@
+//! Fig. 11 bench: the fio storage experiments.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bmhive_cloud::blockstore::IoKind;
+use bmhive_workloads::env::GuestEnv;
+use bmhive_workloads::fio::{fio_cloud, fio_local_bandwidth, fio_local_unrestricted};
+
+fn bench_storage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_storage");
+    group.sample_size(20);
+    for (label, kind) in [("randread", IoKind::Read), ("randwrite", IoKind::Write)] {
+        group.bench_function(format!("cloud_{label}_bm_10k_ops"), |b| {
+            b.iter(|| {
+                let mut env = GuestEnv::bm(1);
+                black_box(fio_cloud(&mut env, kind, 10_000))
+            })
+        });
+        group.bench_function(format!("cloud_{label}_vm_10k_ops"), |b| {
+            b.iter(|| {
+                let mut env = GuestEnv::vm(1);
+                black_box(fio_cloud(&mut env, kind, 10_000))
+            })
+        });
+    }
+    group.bench_function("local_unrestricted_bm_10k_ops", |b| {
+        b.iter(|| {
+            let mut env = GuestEnv::bm(2);
+            black_box(fio_local_unrestricted(&mut env, IoKind::Read, 10_000))
+        })
+    });
+    group.bench_function("local_bandwidth_bm_2k_ops", |b| {
+        b.iter(|| {
+            let mut env = GuestEnv::bm(3);
+            black_box(fio_local_bandwidth(&mut env, 2_000))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Fig. 8 bench: the STREAM bandwidth model across platforms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bmhive_cpu::catalog::XEON_E5_2682_V4;
+use bmhive_cpu::memsys::{MemorySystem, StreamKernel};
+use bmhive_cpu::Platform;
+use bmhive_workloads::stream::run_stream;
+
+fn bench_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_stream");
+    group.bench_function("all_kernels_three_platforms", |b| {
+        b.iter(|| black_box(run_stream()))
+    });
+    let mem = MemorySystem::paper_config();
+    let bm = Platform::bm_guest(XEON_E5_2682_V4);
+    for kernel in StreamKernel::ALL {
+        group.bench_function(format!("triadlike_{}", kernel.name()), |b| {
+            b.iter(|| black_box(mem.stream_bandwidth(black_box(&bm), kernel)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Fig. 9 / Fig. 10 bench: the packet-path experiments.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bmhive_workloads::env::GuestEnv;
+use bmhive_workloads::netperf::{tcp_throughput, udp_pps, udp_pps_unrestricted};
+use bmhive_workloads::sockperf::{round_trip, LatencyTool};
+
+fn bench_pps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_udp_pps");
+    group.bench_function("capped_bm_10s", |b| {
+        b.iter(|| {
+            let mut env = GuestEnv::bm(1);
+            black_box(udp_pps(&mut env, 10))
+        })
+    });
+    group.bench_function("capped_vm_10s", |b| {
+        b.iter(|| {
+            let mut env = GuestEnv::vm(1);
+            black_box(udp_pps(&mut env, 10))
+        })
+    });
+    group.bench_function("unrestricted_bm_10s", |b| {
+        b.iter(|| {
+            let mut env = GuestEnv::bm(1);
+            black_box(udp_pps_unrestricted(&mut env, 10))
+        })
+    });
+    group.bench_function("tcp_throughput_bm", |b| {
+        b.iter(|| {
+            let mut env = GuestEnv::bm(1);
+            black_box(tcp_throughput(&mut env))
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("fig10_latency");
+    for tool in LatencyTool::ALL {
+        group.bench_function(format!("{:?}_bm_1k_rtts", tool), |b| {
+            b.iter(|| {
+                let mut env = GuestEnv::bm(2);
+                black_box(round_trip(&mut env, tool, 1_000))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pps);
+criterion_main!(benches);

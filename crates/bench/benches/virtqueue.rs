@@ -1,0 +1,61 @@
+//! Substrate bench: the functional virtqueue and shadow-vring machinery
+//! that every experiment rides on. Useful for spotting regressions in
+//! the hot ring-processing paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bmhive_cloud::blockstore::{BlockStore, StorageClass};
+use bmhive_cloud::limits::InstanceLimits;
+use bmhive_core::prelude::*;
+use bmhive_hypervisor::BmGuestSession;
+use bmhive_iobond::IoBondProfile;
+use bmhive_mem::{GuestAddr, GuestRam, SgSegment};
+
+fn bench_rings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("virtqueue");
+    group.bench_function("driver_device_round_trip", |b| {
+        let mut ram = GuestRam::new(1 << 20);
+        let layout = QueueLayout::contiguous(GuestAddr::new(0x1000), 256);
+        let mut driver = VirtqueueDriver::new(&mut ram, layout).unwrap();
+        let mut device = Virtqueue::new(layout);
+        ram.write(GuestAddr::new(0x8000), &[7u8; 256]).unwrap();
+        b.iter(|| {
+            let head = driver
+                .add_buf(
+                    &mut ram,
+                    &[SgSegment::new(GuestAddr::new(0x8000), 256)],
+                    &[],
+                )
+                .unwrap();
+            let chain = device.pop_avail(&ram).unwrap().unwrap();
+            device.push_used(&mut ram, chain.head, 0).unwrap();
+            let reaped = driver.poll_used(&ram).unwrap().unwrap();
+            assert_eq!(reaped.0, head);
+            black_box(reaped)
+        })
+    });
+    group.bench_function("blk_request_full_stack", |b| {
+        let mut session = BmGuestSession::new(
+            IoBondProfile::fpga(),
+            MacAddr::for_guest(1),
+            128,
+            InstanceLimits::unrestricted(),
+        );
+        let mut store = BlockStore::new(StorageClass::LocalSsd, 1);
+        let mut t = SimTime::ZERO;
+        let mut sector = 0u64;
+        b.iter(|| {
+            let (status, data, timing) = session
+                .blk_request(&mut store, BlkRequestType::In, sector, &[], 4096, t)
+                .expect("read");
+            sector += 8;
+            t = timing.completed;
+            black_box((status, data.len()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rings);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p bmhive-bench --release --bin repro            # everything
+//! cargo run -p bmhive-bench --release --bin repro -- fig11   # one experiment
+//! cargo run -p bmhive-bench --release --bin repro -- --seed 7 fig9 fig10
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut seed = 1u64;
+    let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut requested: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => {
+                    eprintln!("--seed requires an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match args.next() {
+                Some(dir) => out_dir = Some(dir.into()),
+                None => {
+                    eprintln!("--out requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            other => requested.push(other.to_string()),
+        }
+    }
+
+    let experiments = bmhive_bench::all_experiments(seed);
+    let known: Vec<&str> = experiments.iter().map(|(id, _)| *id).collect();
+    for r in &requested {
+        if !known.contains(&r.as_str()) {
+            eprintln!("unknown experiment '{r}'; known: {}", known.join(", "));
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut printed = 0;
+    for (id, text) in &experiments {
+        if requested.is_empty() || requested.iter().any(|r| r == id) {
+            println!("======== {id} ========");
+            println!("{text}");
+            if let Some(dir) = &out_dir {
+                let path = dir.join(format!("{id}.txt"));
+                if let Err(e) = std::fs::write(&path, text) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            printed += 1;
+        }
+    }
+    if let Some(dir) = &out_dir {
+        eprintln!("[repro] wrote {printed} file(s) under {}", dir.display());
+    }
+    eprintln!("[repro] {printed} experiment(s) rendered with seed {seed}");
+    ExitCode::SUCCESS
+}
+
+fn print_help() {
+    println!("repro — regenerate the BM-Hive paper's tables and figures");
+    println!();
+    println!("USAGE: repro [--seed N] [--out DIR] [experiment ...]");
+    println!();
+    println!("experiments: table1 table2 fig1 table3 fig7 fig8 fig9 fig10 fig11");
+    println!("             fig12 fig13 fig14 fig15 fig16 cost nested iobond asic offload sgx trading");
+}

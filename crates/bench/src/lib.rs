@@ -1,0 +1,896 @@
+//! Experiment harness: one function per table/figure of the paper.
+//!
+//! Each function runs the corresponding experiment on the simulated
+//! platforms and renders the rows/series the paper reports, so
+//! `cargo run -p bmhive-bench --bin repro` regenerates the entire
+//! evaluation. All experiments are deterministic in their seed.
+
+use std::fmt::Write as _;
+
+use bmhive_cloud::blockstore::IoKind;
+use bmhive_cloud::catalog::{ServerConstraints, INSTANCE_CATALOG};
+use bmhive_cloud::cost::CostModel;
+use bmhive_cloud::fleet::{ExitCensus, PreemptionStudy};
+use bmhive_cloud::security::{ServiceKind, ServiceProfile};
+use bmhive_cpu::nested::NestedVirtModel;
+use bmhive_hypervisor::IoPath;
+use bmhive_iobond::{steps, IoBondProfile};
+use bmhive_workloads::sockperf::LatencyTool;
+use bmhive_workloads::{
+    env::GuestEnv, fio, mariadb, netperf, nginx, redis, sockperf, spec, stream,
+};
+
+/// Renders Table 1: the qualitative three-service comparison.
+pub fn table1() -> String {
+    let mut out = String::new();
+    writeln!(out, "Table 1. Comparison of three cloud services").unwrap();
+    writeln!(
+        out,
+        "{:<28} | {:<52} | {:<38} | {:<44} | Density",
+        "Service", "Security", "Isolation", "Performance"
+    )
+    .unwrap();
+    for kind in ServiceKind::ALL {
+        let (service, security, isolation, perf, density) = ServiceProfile::of(kind).table_row();
+        writeln!(
+            out,
+            "{service:<28} | {security:<52} | {isolation:<38} | {perf:<44} | {density}"
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Renders Table 2: the VM-exit census over a synthetic 300 000-VM
+/// fleet.
+pub fn table2(seed: u64) -> String {
+    let census = ExitCensus::run(300_000, &[10_000.0, 50_000.0, 100_000.0], seed);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Table 2. Number of VM exits per second per vCPU ({} VMs, 5-minute census)",
+        census.total()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:>12} | {:>14} | {:>10}",
+        "# of exits", "percent of VMs", "paper"
+    )
+    .unwrap();
+    let paper = [3.82, 0.37, 0.13];
+    for ((threshold, pct), paper_pct) in census.rows().into_iter().zip(paper) {
+        writeln!(
+            out,
+            "{:>11}K | {:>13.2}% | {:>9.2}%",
+            threshold as u64 / 1000,
+            pct,
+            paper_pct
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Renders Fig. 1: preemption percentiles for 20 000 shared + 20 000
+/// exclusive VMs over 24 hours.
+pub fn fig1(seed: u64) -> String {
+    let study = PreemptionStudy::run(20_000, seed);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Fig. 1. VM preemption by the hypervisor/host (percent of CPU time)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:>4} | {:>12} {:>12} | {:>14} {:>14}",
+        "hour", "shared p99", "shared p99.9", "exclusive p99", "exclusive p99.9"
+    )
+    .unwrap();
+    for h in (0..24).step_by(3) {
+        writeln!(
+            out,
+            "{:>4} | {:>11.2}% {:>11.2}% | {:>13.2}% {:>13.2}%",
+            h,
+            study.shared_p99[h],
+            study.shared_p999[h],
+            study.exclusive_p99[h],
+            study.exclusive_p999[h]
+        )
+        .unwrap();
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    writeln!(
+        out,
+        "24h mean | shared {:.2}% / {:.2}%, exclusive {:.2}% / {:.2}%  (paper: shared ~2-4%/2-10%, exclusive ~0.2%/0.5%)",
+        avg(&study.shared_p99),
+        avg(&study.shared_p999),
+        avg(&study.exclusive_p99),
+        avg(&study.exclusive_p999)
+    )
+    .unwrap();
+    out
+}
+
+/// Renders Table 3: the instance catalog and per-server board limits.
+pub fn table3() -> String {
+    let constraints = ServerConstraints::production();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Table 3. Bare-metal instances (catalog reconstructed from the text)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<20} | {:<22} | {:>6} | {:>7} | {:>9} | {:>11}",
+        "instance", "processor", "HT", "mem GiB", "board W", "max boards"
+    )
+    .unwrap();
+    for inst in INSTANCE_CATALOG {
+        writeln!(
+            out,
+            "{:<20} | {:<22} | {:>6} | {:>7} | {:>9.0} | {:>11}",
+            inst.name,
+            inst.processor.name,
+            inst.threads(),
+            inst.memory_gib,
+            inst.board_watts(),
+            constraints.max_boards(inst)
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "limits per instance: 4M PPS, 10 Gbit/s, 25K IOPS, 300 MB/s"
+    )
+    .unwrap();
+    out
+}
+
+/// Renders Fig. 7: SPEC CINT2006 relative performance.
+pub fn fig7() -> String {
+    let result = spec::run_spec();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Fig. 7. SPEC CINT2006, normalised to the physical machine (=1.000)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<12} | {:>9} | {:>9}",
+        "benchmark", "bm-guest", "vm-guest"
+    )
+    .unwrap();
+    for row in &result.rows {
+        writeln!(out, "{:<12} | {:>9.3} | {:>9.3}", row.name, row.bm, row.vm).unwrap();
+    }
+    writeln!(
+        out,
+        "{:<12} | {:>9.3} | {:>9.3}   (paper: bm ~ +4%, vm ~ -4%)",
+        "geomean", result.bm_geomean, result.vm_geomean
+    )
+    .unwrap();
+    out
+}
+
+/// Renders Fig. 8: STREAM bandwidth.
+pub fn fig8() -> String {
+    let rows = stream::run_stream();
+    let mut out = String::new();
+    writeln!(out, "Fig. 8. STREAM (200M elements, 16 threads), GB/s").unwrap();
+    writeln!(
+        out,
+        "{:<7} | {:>9} | {:>9} | {:>9}",
+        "kernel", "physical", "bm-guest", "vm-guest"
+    )
+    .unwrap();
+    for row in rows {
+        writeln!(
+            out,
+            "{:<7} | {:>9.1} | {:>9.1} | {:>9.1}",
+            row.kernel, row.physical, row.bm, row.vm
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "(paper: bm == physical at the channel limit; vm ~ 98% of bm under load)"
+    )
+    .unwrap();
+    out
+}
+
+/// Renders Fig. 9: UDP packet rates.
+pub fn fig9(seed: u64) -> String {
+    let mut bm = GuestEnv::bm(seed);
+    let mut vm = GuestEnv::vm(seed);
+    let bm_run = netperf::udp_pps(&mut bm, 20);
+    let vm_run = netperf::udp_pps(&mut vm, 20);
+    let mut bm_unres = GuestEnv::bm(seed + 1);
+    let unrestricted = netperf::udp_pps_unrestricted(&mut bm_unres, 20);
+    let mut bm_tp = GuestEnv::bm(seed + 2);
+    let mut vm_tp = GuestEnv::vm(seed + 2);
+    let bm_gbps = netperf::tcp_throughput(&mut bm_tp);
+    let vm_gbps = netperf::tcp_throughput(&mut vm_tp);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Fig. 9. UDP packet receive rate (small packets, 4M PPS cap)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<10} | {:>10} | {:>10} | {:>8}",
+        "guest", "mean PPS", "max PPS", "jitter"
+    )
+    .unwrap();
+    for run in [&bm_run, &vm_run] {
+        writeln!(
+            out,
+            "{:<10} | {:>10.3e} | {:>10.3e} | {:>7.2}%",
+            run.label,
+            run.stats.mean(),
+            run.stats.max(),
+            run.stats.cv() * 100.0
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "(paper: both >3.2M PPS; vm slightly better with less jitter)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "unrestricted bm-guest (DPDK, no cap): {:.1}M PPS  (paper: 16M PPS)",
+        unrestricted.stats.mean() / 1e6
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "TCP throughput, 64 conns x 1400B: bm {:.2} Gbit/s, vm {:.2} Gbit/s (paper: 9.6 / 9.59)",
+        bm_gbps, vm_gbps
+    )
+    .unwrap();
+    out
+}
+
+/// Renders Fig. 10: UDP and ping latency.
+pub fn fig10(seed: u64) -> String {
+    let mut out = String::new();
+    writeln!(out, "Fig. 10. 64B round-trip latency, microseconds").unwrap();
+    writeln!(
+        out,
+        "{:<18} | {:>12} | {:>12} | paper",
+        "tool", "bm-guest", "vm-guest"
+    )
+    .unwrap();
+    let notes = [
+        "almost the same",
+        "vm slightly better (longer bm I/O path)",
+        "like the kernel stack",
+    ];
+    for (tool, note) in LatencyTool::ALL.into_iter().zip(notes) {
+        let mut bm = GuestEnv::bm(seed);
+        let mut vm = GuestEnv::vm(seed);
+        let bm_run = sockperf::round_trip(&mut bm, tool, 10_000);
+        let vm_run = sockperf::round_trip(&mut vm, tool, 10_000);
+        writeln!(
+            out,
+            "{:<18} | {:>12.1} | {:>12.1} | {}",
+            tool.label(),
+            bm_run.rtt_us.mean(),
+            vm_run.rtt_us.mean(),
+            note
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Renders Fig. 11: storage latency.
+pub fn fig11(seed: u64) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Fig. 11. Storage I/O latency (fio, 8 threads, 4KB, 25K IOPS cap), microseconds"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<22} | {:>9} | {:>9} | {:>9} | {:>9}",
+        "workload/guest", "mean", "p99", "p99.9", "IOPS"
+    )
+    .unwrap();
+    for kind in [IoKind::Read, IoKind::Write] {
+        let kind_name = match kind {
+            IoKind::Read => "rand-read",
+            IoKind::Write => "rand-write",
+        };
+        let mut bm = GuestEnv::bm(seed);
+        let mut vm = GuestEnv::vm(seed);
+        for run in [
+            fio::fio_cloud(&mut bm, kind, 50_000),
+            fio::fio_cloud(&mut vm, kind, 50_000),
+        ] {
+            writeln!(
+                out,
+                "{:<22} | {:>9.1} | {:>9.1} | {:>9.1} | {:>9.0}",
+                format!("{kind_name}/{}", run.label),
+                run.latency_us.mean(),
+                run.latency_us.percentile(99.0),
+                run.latency_us.percentile(99.9),
+                run.iops
+            )
+            .unwrap();
+        }
+    }
+    writeln!(
+        out,
+        "(paper: bm ~25% faster mean, ~3x faster p99.9 for random read)"
+    )
+    .unwrap();
+    let mut bm = GuestEnv::bm(seed + 1);
+    let mut vm = GuestEnv::vm(seed + 1);
+    let bm_local = fio::fio_local_unrestricted(&mut bm, IoKind::Read, 40_000);
+    let vm_local = fio::fio_local_unrestricted(&mut vm, IoKind::Read, 40_000);
+    let mut bm2 = GuestEnv::bm(seed + 2);
+    let mut vm2 = GuestEnv::vm(seed + 2);
+    let bm_bw = fio::fio_local_bandwidth(&mut bm2, 5_000);
+    let vm_bw = fio::fio_local_bandwidth(&mut vm2, 5_000);
+    writeln!(
+        out,
+        "unrestricted local SSD: bm {:.0} us mean / {:.0} IOPS / {:.0} MB/s; vm {:.0} us / {:.0} IOPS / {:.0} MB/s",
+        bm_local.latency_us.mean(),
+        bm_local.iops,
+        bm_bw.bandwidth_mbs,
+        vm_local.latency_us.mean(),
+        vm_local.iops,
+        vm_bw.bandwidth_mbs
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "(paper: bm 60us average; +50% IOPS and +100% bandwidth over vm)"
+    )
+    .unwrap();
+    out
+}
+
+/// Renders Fig. 12: NGINX.
+pub fn fig12(seed: u64) -> String {
+    let mut bm = GuestEnv::bm(seed);
+    let mut vm = GuestEnv::vm(seed);
+    let bm_run = nginx::run_nginx(&mut bm, &nginx::CLIENT_SWEEP);
+    let vm_run = nginx::run_nginx(&mut vm, &nginx::CLIENT_SWEEP);
+    let mut out = String::new();
+    writeln!(out, "Fig. 12. NGINX requests/second (ab, KeepAlive off)").unwrap();
+    writeln!(
+        out,
+        "{:>8} | {:>12} | {:>12} | {:>7} | {:>11} | {:>11}",
+        "clients", "bm RPS", "vm RPS", "ratio", "bm resp ms", "vm resp ms"
+    )
+    .unwrap();
+    for ((c, bm_rps), (_, vm_rps)) in bm_run.rps.points().iter().zip(vm_run.rps.points()) {
+        let bm_ms = bm_run
+            .response_ms
+            .points()
+            .iter()
+            .find(|(x, _)| x == c)
+            .unwrap()
+            .1;
+        let vm_ms = vm_run
+            .response_ms
+            .points()
+            .iter()
+            .find(|(x, _)| x == c)
+            .unwrap()
+            .1;
+        writeln!(
+            out,
+            "{:>8.0} | {:>12.0} | {:>12.0} | {:>6.2}x | {:>11.2} | {:>11.2}",
+            c,
+            bm_rps,
+            vm_rps,
+            bm_rps / vm_rps,
+            bm_ms,
+            vm_ms
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "(paper: bm serves 50-60% more RPS; ~30% shorter response time)"
+    )
+    .unwrap();
+    out
+}
+
+/// Renders Fig. 13: MariaDB read-only.
+pub fn fig13(seed: u64) -> String {
+    let mut bm = GuestEnv::bm(seed);
+    let mut vm = GuestEnv::vm(seed);
+    let bm_run = mariadb::run_mariadb(&mut bm, mariadb::QueryMix::ReadOnly);
+    let vm_run = mariadb::run_mariadb(&mut vm, mariadb::QueryMix::ReadOnly);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Fig. 13. MariaDB read-only (sysbench, 16 tables x 1M rows, 128 threads)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "bm-guest {:.0} QPS, vm-guest {:.0} QPS -> bm +{:.1}%  (paper: 195K vs 170K, +14.7%)",
+        bm_run.qps,
+        vm_run.qps,
+        (bm_run.qps / vm_run.qps - 1.0) * 100.0
+    )
+    .unwrap();
+    out
+}
+
+/// Renders Fig. 14: MariaDB write-only and read/write.
+pub fn fig14(seed: u64) -> String {
+    let mut out = String::new();
+    writeln!(out, "Fig. 14. MariaDB write-only and read/write mixed").unwrap();
+    for (mix, paper) in [
+        (mariadb::QueryMix::WriteOnly, "+42%"),
+        (mariadb::QueryMix::ReadWrite, "+55%"),
+    ] {
+        let mut bm = GuestEnv::bm(seed);
+        let mut vm = GuestEnv::vm(seed);
+        let bm_run = mariadb::run_mariadb(&mut bm, mix);
+        let vm_run = mariadb::run_mariadb(&mut vm, mix);
+        writeln!(
+            out,
+            "{:<11} bm {:.0} QPS, vm {:.0} QPS -> bm +{:.1}%  (paper: {paper})",
+            mix.label(),
+            bm_run.qps,
+            vm_run.qps,
+            (bm_run.qps / vm_run.qps - 1.0) * 100.0
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Renders Fig. 15: Redis versus client count.
+pub fn fig15(seed: u64) -> String {
+    let mut bm = GuestEnv::bm(seed);
+    let mut vm = GuestEnv::vm(seed);
+    let bm_s = redis::run_redis_clients(&mut bm, &redis::CLIENT_SWEEP, 64);
+    let vm_s = redis::run_redis_clients(&mut vm, &redis::CLIENT_SWEEP, 64);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Fig. 15. Redis requests/second vs clients (64B values)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:>8} | {:>10} | {:>10} | {:>7}",
+        "clients", "bm RPS", "vm RPS", "ratio"
+    )
+    .unwrap();
+    for ((c, b), (_, v)) in bm_s.points().iter().zip(vm_s.points()) {
+        writeln!(
+            out,
+            "{:>8.0} | {:>10.0} | {:>10.0} | {:>6.2}x",
+            c,
+            b,
+            v,
+            b / v
+        )
+        .unwrap();
+    }
+    writeln!(out, "(paper: bm 20-40% better)").unwrap();
+    out
+}
+
+/// Renders Fig. 16: Redis versus value size, with stability.
+pub fn fig16(seed: u64) -> String {
+    let mut bm = GuestEnv::bm(seed);
+    let mut vm = GuestEnv::vm(seed);
+    let bm_runs = redis::run_redis_sizes(&mut bm, &redis::SIZE_SWEEP, 20);
+    let vm_runs = redis::run_redis_sizes(&mut vm, &redis::SIZE_SWEEP, 20);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Fig. 16. Redis requests/second vs value size (4000 clients)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:>7} | {:>10} {:>8} | {:>10} {:>8}",
+        "size B", "bm RPS", "bm CV", "vm RPS", "vm CV"
+    )
+    .unwrap();
+    for ((size, bm_s), (_, vm_s)) in bm_runs.iter().zip(&vm_runs) {
+        let cv = |s: &bmhive_sim::Series| {
+            let mut sum = bmhive_sim::Summary::new();
+            for y in s.ys() {
+                sum.record(y);
+            }
+            sum.cv() * 100.0
+        };
+        writeln!(
+            out,
+            "{:>7} | {:>10.0} {:>7.1}% | {:>10.0} {:>7.1}%",
+            size,
+            bm_s.mean_y(),
+            cv(bm_s),
+            vm_s.mean_y(),
+            cv(vm_s)
+        )
+        .unwrap();
+    }
+    writeln!(out, "(paper: bm higher and stable; vm fluctuates)").unwrap();
+    out
+}
+
+/// Renders the §3.5 cost-efficiency analysis.
+pub fn cost() -> String {
+    let model = CostModel::paper();
+    let mut out = String::new();
+    writeln!(out, "§3.5 Cost efficiency").unwrap();
+    writeln!(
+        out,
+        "{:<38} | {:>8} | {:>10} | {:>9} | {:>9}",
+        "configuration", "total HT", "sellable HT", "W/vCPU", "rel price"
+    )
+    .unwrap();
+    for report in [
+        model.vm_server(),
+        model.bm_hive_eight_boards(),
+        model.bm_hive_single_board(),
+    ] {
+        writeln!(
+            out,
+            "{:<38} | {:>8} | {:>11} | {:>9.2} | {:>8.0}%",
+            report.label,
+            report.total_threads,
+            report.sellable_threads,
+            report.watts_per_vcpu(),
+            report.price_per_vcpu * 100.0
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "density advantage {:.2}x  (paper: 256HT vs 88HT; 3.17 vs 3.06 W/vCPU; bm price -10%)",
+        model.density_advantage()
+    )
+    .unwrap();
+    out
+}
+
+/// Renders the §2.3 nested-virtualization comparison.
+pub fn nested() -> String {
+    let model = NestedVirtModel::kvm_on_kvm();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "§2.3 Nested hypervisor performance (relative to native)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "CPU-bound nested guest:  {:.0}%  (paper: ~80%)",
+        model.cpu_relative() * 100.0
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "I/O-bound nested guest:  {:.0}%  (paper: ~25%)",
+        model.io_relative() * 100.0
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "user hypervisor on BM-Hive: {:.0}% (native hardware virtualization)",
+        model.bm_hive_relative() * 100.0
+    )
+    .unwrap();
+    out
+}
+
+/// Renders the §3.4.3 IO-Bond microbenchmarks and the Fig. 6 step
+/// budget.
+pub fn iobond() -> String {
+    let profile = IoBondProfile::fpga();
+    let mut out = String::new();
+    writeln!(out, "§3.4.3 IO-Bond microbenchmarks (FPGA profile)").unwrap();
+    writeln!(
+        out,
+        "guest PCI register access: {}  (paper: 0.8us)",
+        profile.guest_register_access()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "emulated PCI access (guest+mailbox): {}  (paper: 1.6us constant)",
+        profile.emulated_pci_access()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "internal DMA: {:.0} Gbit/s  (paper: ~50 Gbps)",
+        profile.dma().bandwidth_gbps()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "links: x4 per device = {:.1} Gbit/s, x8 to base = {:.1} Gbit/s  (paper: 32 / backing x8)",
+        profile.guest_link().bandwidth_gbps(),
+        profile.base_link().bandwidth_gbps()
+    )
+    .unwrap();
+    writeln!(out, "\nFig. 6: the 14-step Tx/Rx exchange (64B payloads)").unwrap();
+    let steps = steps::tx_rx_steps(&profile, 64, 64);
+    for step in &steps {
+        writeln!(
+            out,
+            "  {:>2}. [{:<7}] {:<58} {}",
+            step.number,
+            format!("{:?}", step.actor),
+            step.description,
+            step.cost
+        )
+        .unwrap();
+    }
+    writeln!(out, "  total: {}", steps::total_latency(&steps)).unwrap();
+    out
+}
+
+/// Renders the §6 ASIC projection ablation.
+pub fn asic() -> String {
+    let fpga = IoBondProfile::fpga();
+    let asic = IoBondProfile::asic();
+    let mut out = String::new();
+    writeln!(out, "§6 ASIC projection (ablation)").unwrap();
+    writeln!(
+        out,
+        "register access: fpga {} -> asic {}  (paper: 0.8us -> 0.2us, -75%)",
+        fpga.guest_register_access(),
+        asic.guest_register_access()
+    )
+    .unwrap();
+    let fpga_total = steps::total_latency(&steps::tx_rx_steps(&fpga, 64, 64));
+    let asic_total = steps::total_latency(&steps::tx_rx_steps(&asic, 64, 64));
+    writeln!(
+        out,
+        "Fig. 6 exchange: fpga {} -> asic {}",
+        fpga_total, asic_total
+    )
+    .unwrap();
+    let fpga_path = IoPath::bm(fpga, 1);
+    let asic_path = IoPath::bm(asic, 1);
+    writeln!(
+        out,
+        "one-way 64B path: fpga {} -> asic {}",
+        fpga_path.net_oneway(64),
+        asic_path.net_oneway(64)
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "kernel-stack PPS ceiling: fpga {:.2}M -> asic {:.2}M",
+        fpga_path.max_pps_kernel() / 1e6,
+        asic_path.max_pps_kernel() / 1e6
+    )
+    .unwrap();
+    out
+}
+
+/// Renders the §6 IO-Bond offload plan and the §3.4.2 slow-path
+/// comparison (ablations).
+pub fn offload() -> String {
+    use bmhive_hypervisor::NetBackendPath;
+    use bmhive_iobond::OffloadConfig;
+    let mut out = String::new();
+    writeln!(out, "§6 IO-Bond packet-processing offload (ablation)").unwrap();
+    writeln!(
+        out,
+        "{:<22} | {:>14} | {:>14} | {:>22}",
+        "configuration", "sw ns/packet", "hw added ns", "base cores @16x1M PPS"
+    )
+    .unwrap();
+    for (label, cfg) in [
+        ("deployed (none)", OffloadConfig::deployed()),
+        ("full offload", OffloadConfig::full()),
+    ] {
+        writeln!(
+            out,
+            "{:<22} | {:>14} | {:>14} | {:>22}",
+            label,
+            cfg.sw_per_packet().as_nanos(),
+            cfg.hw_added_latency().as_nanos(),
+            cfg.base_cores_needed(16, 1e6)
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "(paper: offload packet processing so lower-cost base CPUs can be used)"
+    )
+    .unwrap();
+    writeln!(out, "\n§3.4.2 backend mode (PMD vs interrupt, batch 4)").unwrap();
+    for mode in bmhive_hypervisor::BackendMode::ALL {
+        writeln!(
+            out,
+            "{:?}: detect {}, +{} per request, idle core burn {:.0}%",
+            mode,
+            mode.detection_latency(),
+            mode.per_request_cpu(4),
+            mode.idle_burn_fraction() * 100.0
+        )
+        .unwrap();
+    }
+    writeln!(out, "\n§3.4.2 slow test paths (never deployed)").unwrap();
+    for path in [NetBackendPath::DpdkFast, NetBackendPath::LinuxTap] {
+        writeln!(
+            out,
+            "{:?}: {:.2}M PPS/core, +{} latency, reaches cloud services: {}",
+            path,
+            path.max_pps_per_core() / 1e6,
+            path.added_latency(),
+            path.reaches_cloud_services()
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Renders the §6 SGX comparison.
+pub fn sgx() -> String {
+    use bmhive_cpu::catalog::XEON_E5_2682_V4;
+    use bmhive_cpu::sgx::{EnclaveWorkload, SgxModel, SgxSupport};
+    use bmhive_cpu::Platform;
+    let model = SgxModel::sgx1();
+    let workload = EnclaveWorkload::trading_engine();
+    let bm = Platform::bm_guest(XEON_E5_2682_V4);
+    let vm = Platform::vm_guest(XEON_E5_2682_V4);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "§6 SGX support (trading-engine enclave, 120K transitions/s)"
+    )
+    .unwrap();
+    let fmt = |s: Option<f64>| match s {
+        Some(f) => format!("{:.1}% of a core in SGX machinery", f * 100.0),
+        None => "cannot launch (no special builds)".to_string(),
+    };
+    writeln!(
+        out,
+        "bm-guest (native SGX):          {}",
+        fmt(model.overhead_fraction(&workload, model.support_on(&bm)))
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "vm-guest (stock KVM/QEMU):      {}",
+        fmt(model.overhead_fraction(&workload, model.support_on(&vm)))
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "vm-guest (special SGX builds):  {}",
+        fmt(model.overhead_fraction(
+            &workload,
+            SgxSupport::Virtualized {
+                special_builds_installed: true
+            }
+        ))
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "(paper: SGX 'does not work well in virtual machines'; BM-Hive runs it natively)"
+    )
+    .unwrap();
+    out
+}
+
+/// Renders the §1/§2.1 motivation workload: high-frequency trading
+/// order-to-wire tails.
+pub fn trading(seed: u64) -> String {
+    use bmhive_workloads::trading::{run_trading, FILL_BUDGET};
+    let mut bm = GuestEnv::bm(seed);
+    let mut vm = GuestEnv::vm(seed);
+    let bm_run = run_trading(&mut bm, 100_000);
+    let vm_run = run_trading(&mut vm, 100_000);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "§1/§2.1 motivation: high-frequency trading (100K ticks, {} fill budget)",
+        FILL_BUDGET
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<10} | {:>10} | {:>10} | {:>10} | {:>12}",
+        "guest", "p50 us", "p99 us", "p99.9 us", "missed fills"
+    )
+    .unwrap();
+    for run in [&bm_run, &vm_run] {
+        writeln!(
+            out,
+            "{:<10} | {:>10.1} | {:>10.1} | {:>10.1} | {:>12}",
+            run.label,
+            run.order_latency_us.percentile(50.0),
+            run.order_latency_us.percentile(99.0),
+            run.order_latency_us.percentile(99.9),
+            run.missed_fills
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "(paper: preemption 'can cause real problems for demanding services, such as high-frequency stock trading')"
+    )
+    .unwrap();
+    out
+}
+
+/// Every experiment in paper order: `(id, rendered output)`.
+pub fn all_experiments(seed: u64) -> Vec<(&'static str, String)> {
+    vec![
+        ("table1", table1()),
+        ("table2", table2(seed)),
+        ("fig1", fig1(seed)),
+        ("table3", table3()),
+        ("fig7", fig7()),
+        ("fig8", fig8()),
+        ("fig9", fig9(seed)),
+        ("fig10", fig10(seed)),
+        ("fig11", fig11(seed)),
+        ("fig12", fig12(seed)),
+        ("fig13", fig13(seed)),
+        ("fig14", fig14(seed)),
+        ("fig15", fig15(seed)),
+        ("fig16", fig16(seed)),
+        ("cost", cost()),
+        ("nested", nested()),
+        ("iobond", iobond()),
+        ("asic", asic()),
+        ("offload", offload()),
+        ("sgx", sgx()),
+        ("trading", trading(seed)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_experiment_renders_nonempty() {
+        for (id, text) in all_experiments(1) {
+            assert!(!text.trim().is_empty(), "{id} rendered nothing");
+            assert!(text.lines().count() >= 2, "{id} rendered too little");
+        }
+    }
+
+    #[test]
+    fn experiments_are_deterministic_in_seed() {
+        assert_eq!(table2(5), table2(5));
+        assert_eq!(fig11(5), fig11(5));
+        assert_ne!(table2(5), table2(6));
+    }
+
+    #[test]
+    fn experiment_ids_are_unique_and_cover_the_paper() {
+        let ids: Vec<&str> = all_experiments(1).into_iter().map(|(id, _)| id).collect();
+        let unique: std::collections::HashSet<&&str> = ids.iter().collect();
+        assert_eq!(unique.len(), ids.len());
+        for required in [
+            "table1", "table2", "table3", "fig1", "fig7", "fig8", "fig9", "fig10", "fig11",
+            "fig12", "fig13", "fig14", "fig15", "fig16", "cost", "nested", "iobond", "asic",
+        ] {
+            assert!(ids.contains(&required), "missing {required}");
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Synthetic fleet studies reproducing the §2 production measurements.
+//!
+//! The paper's motivation data comes from Alibaba's production fleet: a
+//! five-minute VM-exit census over 300 000 VMs (Table 2) and a 24-hour
+//! preemption trace over 20 000 VMs (Fig. 1). Those traces are
+//! proprietary; the substitution (see DESIGN.md) draws each VM from the
+//! calibrated populations in [`bmhive_cpu::virt`] and runs the *same
+//! census/percentile pipeline* the paper describes over the synthetic
+//! fleet.
+
+use bmhive_cpu::virt::{ExitRatePopulation, PreemptionModel};
+use bmhive_sim::stats::exact_percentile;
+use bmhive_sim::SimRng;
+
+/// The Table 2 census: what fraction of VMs exceed each exit-rate
+/// threshold.
+#[derive(Debug, Clone)]
+pub struct ExitCensus {
+    thresholds: Vec<f64>,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl ExitCensus {
+    /// Runs a census of `vms` VMs against `thresholds` (exits/s/vCPU),
+    /// sampling each VM's rate from the production population.
+    pub fn run(vms: u64, thresholds: &[f64], seed: u64) -> Self {
+        let pop = ExitRatePopulation::production();
+        let mut rng = SimRng::with_stream(seed, 0xce15);
+        let mut counts = vec![0u64; thresholds.len()];
+        for _ in 0..vms {
+            let rate = pop.sample(&mut rng);
+            for (i, &t) in thresholds.iter().enumerate() {
+                if rate > t {
+                    counts[i] += 1;
+                }
+            }
+        }
+        ExitCensus {
+            thresholds: thresholds.to_vec(),
+            counts,
+            total: vms,
+        }
+    }
+
+    /// `(threshold, percent of VMs above it)` rows, as Table 2 prints.
+    pub fn rows(&self) -> Vec<(f64, f64)> {
+        self.thresholds
+            .iter()
+            .zip(&self.counts)
+            .map(|(&t, &c)| (t, 100.0 * c as f64 / self.total as f64))
+            .collect()
+    }
+
+    /// VMs in the census.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// The Fig. 1 preemption study: per-hour 99th/99.9th percentile
+/// preemption rates for shared and exclusive VMs.
+#[derive(Debug, Clone)]
+pub struct PreemptionStudy {
+    /// Hour labels 0..24.
+    pub hours: Vec<u32>,
+    /// Shared VMs, 99th percentile preemption %, per hour.
+    pub shared_p99: Vec<f64>,
+    /// Shared VMs, 99.9th percentile preemption %, per hour.
+    pub shared_p999: Vec<f64>,
+    /// Exclusive VMs, 99th percentile preemption %, per hour.
+    pub exclusive_p99: Vec<f64>,
+    /// Exclusive VMs, 99.9th percentile preemption %, per hour.
+    pub exclusive_p999: Vec<f64>,
+}
+
+impl PreemptionStudy {
+    /// Records `vms` shared and `vms` exclusive VMs for 24 hours and
+    /// reports the Fig. 1 percentiles per hour.
+    pub fn run(vms: usize, seed: u64) -> Self {
+        let shared = PreemptionModel::shared();
+        let exclusive = PreemptionModel::exclusive();
+        let mut rng = SimRng::with_stream(seed, 0xf161);
+        let mut out = PreemptionStudy {
+            hours: (0..24).collect(),
+            shared_p99: Vec::with_capacity(24),
+            shared_p999: Vec::with_capacity(24),
+            exclusive_p99: Vec::with_capacity(24),
+            exclusive_p999: Vec::with_capacity(24),
+        };
+        for hour in 0..24 {
+            let s: Vec<f64> = (0..vms)
+                .map(|_| shared.sample_at_hour(&mut rng, hour) * 100.0)
+                .collect();
+            let e: Vec<f64> = (0..vms)
+                .map(|_| exclusive.sample_at_hour(&mut rng, hour) * 100.0)
+                .collect();
+            out.shared_p99.push(exact_percentile(&s, 99.0));
+            out.shared_p999.push(exact_percentile(&s, 99.9));
+            out.exclusive_p99.push(exact_percentile(&e, 99.0));
+            out.exclusive_p999.push(exact_percentile(&e, 99.9));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_reproduces_table2_within_tolerance() {
+        let census = ExitCensus::run(300_000, &[10_000.0, 50_000.0, 100_000.0], 1);
+        let rows = census.rows();
+        assert_eq!(census.total(), 300_000);
+        assert!((rows[0].1 - 3.82).abs() < 0.4, "10K row: {}", rows[0].1);
+        assert!((rows[1].1 - 0.37).abs() < 0.12, "50K row: {}", rows[1].1);
+        assert!((rows[2].1 - 0.13).abs() < 0.08, "100K row: {}", rows[2].1);
+    }
+
+    #[test]
+    fn census_fractions_are_monotone_in_threshold() {
+        let census = ExitCensus::run(50_000, &[1_000.0, 10_000.0, 100_000.0], 2);
+        let rows = census.rows();
+        assert!(rows[0].1 >= rows[1].1 && rows[1].1 >= rows[2].1);
+    }
+
+    #[test]
+    fn preemption_study_matches_fig1_bands() {
+        let study = PreemptionStudy::run(20_000, 3);
+        assert_eq!(study.hours.len(), 24);
+        for h in 0..24 {
+            // Shared 99th: roughly 2–4 %; 99.9th: 2–10 %.
+            assert!(
+                (1.0..=6.0).contains(&study.shared_p99[h]),
+                "hour {h}: shared p99 {}",
+                study.shared_p99[h]
+            );
+            assert!(
+                (2.0..=14.0).contains(&study.shared_p999[h]),
+                "hour {h}: shared p99.9 {}",
+                study.shared_p999[h]
+            );
+            // Exclusive: about 0.2 % and 0.5 %.
+            assert!(
+                study.exclusive_p99[h] < 0.6,
+                "hour {h}: exclusive p99 {}",
+                study.exclusive_p99[h]
+            );
+            assert!(
+                study.exclusive_p999[h] < 1.2,
+                "hour {h}: exclusive p99.9 {}",
+                study.exclusive_p999[h]
+            );
+            // Ordering invariants.
+            assert!(study.shared_p999[h] >= study.shared_p99[h]);
+            assert!(study.shared_p99[h] > study.exclusive_p99[h]);
+        }
+    }
+
+    #[test]
+    fn study_is_deterministic_per_seed() {
+        let a = PreemptionStudy::run(2_000, 9);
+        let b = PreemptionStudy::run(2_000, 9);
+        assert_eq!(a.shared_p99, b.shared_p99);
+        let c = PreemptionStudy::run(2_000, 10);
+        assert_ne!(a.shared_p99, c.shared_p99);
+    }
+}

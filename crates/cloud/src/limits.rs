@@ -1,0 +1,165 @@
+//! Per-instance rate limits.
+//!
+//! "The I/O performance of a cloud instance is commonly rate-limited to
+//! prevent the misuse of resources and improve overall quality of
+//! service. For example, the Xeon E5-2682 instance is limited to 4M
+//! packets per second (PPS) and 10Gbit/s in bandwidth for network access
+//! and 25K I/O per second (IOPS) for storage access" (§4.1), plus the
+//! 300 MB/s storage bandwidth cap of §4.3.
+
+use bmhive_sim::{SimTime, TokenBucket};
+
+/// The rate caps applied to one instance's I/O, identical for vm-guests
+/// and bm-guests.
+#[derive(Debug, Clone)]
+pub struct InstanceLimits {
+    pps: Option<TokenBucket>,
+    net_bytes: Option<TokenBucket>,
+    iops: Option<TokenBucket>,
+    storage_bytes: Option<TokenBucket>,
+}
+
+impl InstanceLimits {
+    /// The §4.1 production limits: 4 M PPS, 10 Gbit/s, 25 K IOPS,
+    /// 300 MB/s.
+    pub fn production() -> Self {
+        InstanceLimits {
+            pps: Some(TokenBucket::new(4e6, 65_536.0)),
+            net_bytes: Some(TokenBucket::new(10e9 / 8.0, 4e6)),
+            iops: Some(TokenBucket::new(25_000.0, 256.0)),
+            storage_bytes: Some(TokenBucket::new(300e6, 4e6)),
+        }
+    }
+
+    /// No limits ("we measured the maximum network performance of
+    /// BM-Hive by removing the limit on the PPS", §4.3).
+    pub fn unrestricted() -> Self {
+        InstanceLimits {
+            pps: None,
+            net_bytes: None,
+            iops: None,
+            storage_bytes: None,
+        }
+    }
+
+    /// Admits one packet of `bytes` at `now`; returns when it may
+    /// proceed (now, if unthrottled).
+    pub fn admit_packet(&mut self, bytes: u32, now: SimTime) -> SimTime {
+        let mut at = now;
+        if let Some(b) = &mut self.pps {
+            at = at.max(b.acquire(now, 1.0));
+        }
+        if let Some(b) = &mut self.net_bytes {
+            at = at.max(b.acquire(now, f64::from(bytes)));
+        }
+        at
+    }
+
+    /// Admits one storage operation of `bytes` at `now`.
+    pub fn admit_io(&mut self, bytes: u64, now: SimTime) -> SimTime {
+        let mut at = now;
+        if let Some(b) = &mut self.iops {
+            at = at.max(b.acquire(now, 1.0));
+        }
+        if let Some(b) = &mut self.storage_bytes {
+            at = at.max(b.acquire(now, bytes as f64));
+        }
+        at
+    }
+
+    /// The PPS cap, if any.
+    pub fn pps_limit(&self) -> Option<f64> {
+        self.pps.as_ref().map(|b| b.rate())
+    }
+
+    /// The IOPS cap, if any.
+    pub fn iops_limit(&self) -> Option<f64> {
+        self.iops.as_ref().map(|b| b.rate())
+    }
+
+    /// The network bandwidth cap in Gbit/s, if any.
+    pub fn net_gbps_limit(&self) -> Option<f64> {
+        self.net_bytes.as_ref().map(|b| b.rate() * 8.0 / 1e9)
+    }
+
+    /// The storage bandwidth cap in MB/s, if any.
+    pub fn storage_mbps_limit(&self) -> Option<f64> {
+        self.storage_bytes.as_ref().map(|b| b.rate() / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn production_limits_match_the_paper() {
+        let l = InstanceLimits::production();
+        assert_eq!(l.pps_limit(), Some(4e6));
+        assert_eq!(l.iops_limit(), Some(25_000.0));
+        assert_eq!(l.net_gbps_limit(), Some(10.0));
+        assert_eq!(l.storage_mbps_limit(), Some(300.0));
+    }
+
+    #[test]
+    fn unrestricted_admits_instantly() {
+        let mut l = InstanceLimits::unrestricted();
+        for i in 0..10_000 {
+            let now = SimTime::from_nanos(i);
+            assert_eq!(l.admit_packet(64, now), now);
+            assert_eq!(l.admit_io(4096, now), now);
+        }
+    }
+
+    #[test]
+    fn pps_cap_shapes_a_flood_to_4m() {
+        let mut l = InstanceLimits::production();
+        let mut t = SimTime::ZERO;
+        let n = 1_000_000u64;
+        for _ in 0..n {
+            t = l.admit_packet(64, t);
+        }
+        // Minus the burst allowance, 1 M small packets take ≥ ~0.23 s at
+        // 4 M PPS.
+        let rate = n as f64 / t.as_secs_f64();
+        assert!((3.9e6..=4.4e6).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn bandwidth_cap_binds_for_large_packets() {
+        // 1400-byte packets: 10 Gbit/s / (1454 B) ≈ 860 K PPS — the
+        // bandwidth cap binds long before the PPS cap.
+        let mut l = InstanceLimits::production();
+        let mut t = SimTime::ZERO;
+        let n = 100_000u64;
+        for _ in 0..n {
+            t = l.admit_packet(1454, t);
+        }
+        let gbps = n as f64 * 1454.0 * 8.0 / t.as_secs_f64() / 1e9;
+        assert!((9.5..=10.5).contains(&gbps), "gbps {gbps}");
+    }
+
+    #[test]
+    fn iops_cap_shapes_storage() {
+        let mut l = InstanceLimits::production();
+        let mut t = SimTime::ZERO;
+        let n = 100_000u64;
+        for _ in 0..n {
+            t = l.admit_io(4096, t);
+        }
+        let iops = n as f64 / t.as_secs_f64();
+        assert!((24_000.0..=27_000.0).contains(&iops), "iops {iops}");
+    }
+
+    #[test]
+    fn storage_bandwidth_binds_for_1m_requests() {
+        // 1 MiB requests: 300 MB/s / 1 MiB ≈ 286 IOPS.
+        let mut l = InstanceLimits::production();
+        let mut t = SimTime::ZERO;
+        for _ in 0..1_000u64 {
+            t = l.admit_io(1 << 20, t);
+        }
+        let mbps = 1_000.0 * (1u64 << 20) as f64 / t.as_secs_f64() / 1e6;
+        assert!((290.0..=320.0).contains(&mbps), "mbps {mbps}");
+    }
+}

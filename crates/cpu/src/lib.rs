@@ -1,0 +1,41 @@
+//! CPU and memory platform models.
+//!
+//! The paper's CPU/memory results (Figs. 7–8) and motivation data
+//! (Table 2, Fig. 1, §2.3) all reduce to one question: *how much does
+//! virtualization tax a given instruction/memory stream, compared to
+//! running the same stream natively on a compute board?* This crate
+//! answers it mechanistically:
+//!
+//! * [`catalog`] — the processors BM-Hive ships ([`Processor`]): core
+//!   counts, clocks, single-thread indices, memory channels, and TDP,
+//!   reconstructed from the public figures the paper itself cites
+//!   (CPU Mark ratios, Intel ARK TDP).
+//! * [`exec`] — the execution model: [`CpuWork`] (cycles + cache-missing
+//!   references + streamed bytes) priced on a [`Platform`]
+//!   (physical / bare-metal board / VM / nested VM). The VM platform
+//!   charges VM exits (≈10 µs each, §2.1), two-level page-walk
+//!   amplification on TLB misses (up to 24 memory references, §5), and
+//!   host preemption.
+//! * [`virt`] — the VM-exit machinery itself: exit classes, the
+//!   exit-rate population model behind Table 2, and the preemption
+//!   process behind Fig. 1.
+//! * [`memsys`] / [`spec`] — the STREAM and SPEC CINT2006 workload
+//!   models used by Figs. 7 and 8.
+//! * [`nested`] — the nested-virtualization model of §2.3 (≈80 % native
+//!   CPU, ≈25 % native I/O).
+
+pub mod catalog;
+pub mod exec;
+pub mod memsys;
+pub mod nested;
+pub mod sgx;
+pub mod spec;
+pub mod virt;
+
+pub use catalog::{Processor, ProcessorKind};
+pub use exec::{CpuWork, Platform, VirtTax};
+pub use memsys::{MemorySystem, StreamKernel};
+pub use nested::NestedVirtModel;
+pub use sgx::{EnclaveWorkload, SgxModel, SgxSupport};
+pub use spec::{SpecBenchmark, SPEC_CINT2006};
+pub use virt::{ExitClass, ExitRatePopulation, PreemptionModel, VmExitModel};

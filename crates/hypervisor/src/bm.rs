@@ -1,0 +1,780 @@
+//! One bm-guest and its bm-hypervisor backend process.
+//!
+//! [`BmGuestSession`] wires together everything §3.3 describes for one
+//! guest: the compute board's RAM with the guest's virtio driver rings,
+//! two IO-Bond devices (net + blk) bridging to shadow vrings in the
+//! bm-hypervisor process's base RAM, poll-mode backends consuming the
+//! shadow rings, the instance rate limits, and the cloud services. Every
+//! packet and block request really crosses both memory domains through
+//! the rings — no shortcut paths.
+
+use bmhive_cloud::blockstore::{BlockStore, IoKind};
+use bmhive_cloud::limits::InstanceLimits;
+use bmhive_iobond::{IoBondDevice, IoBondProfile, StagingPool};
+use bmhive_mem::{GuestAddr, GuestRam, SgSegment};
+use bmhive_net::{MacAddr, Packet, PacketKind};
+use bmhive_sim::{SimDuration, SimTime};
+use bmhive_virtio::{
+    BlkRequestHeader, BlkRequestType, BlkStatus, DescChain, DeviceType, Feature, QueueLayout,
+    VirtioError, VirtioNetHeader, Virtqueue, VirtqueueDriver, VIRTIO_NET_HDR_LEN,
+};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Queue indices on the net device.
+const RX_Q: usize = 0;
+const TX_Q: usize = 1;
+
+/// Errors from guest I/O operations.
+#[derive(Debug)]
+pub enum SessionError {
+    /// A virtio ring failed.
+    Virtio(VirtioError),
+    /// Guest-side buffers are exhausted.
+    NoBuffers,
+    /// The backend received a malformed request.
+    BadRequest(&'static str),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Virtio(e) => write!(f, "virtio failure: {e}"),
+            SessionError::NoBuffers => write!(f, "guest buffer pool exhausted"),
+            SessionError::BadRequest(why) => write!(f, "malformed request: {why}"),
+        }
+    }
+}
+
+impl Error for SessionError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SessionError::Virtio(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VirtioError> for SessionError {
+    fn from(e: VirtioError) -> Self {
+        SessionError::Virtio(e)
+    }
+}
+
+impl From<bmhive_mem::MemError> for SessionError {
+    fn from(e: bmhive_mem::MemError) -> Self {
+        SessionError::Virtio(VirtioError::Mem(e))
+    }
+}
+
+/// Timing of one completed guest I/O.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoTiming {
+    /// When the guest issued the request (kick).
+    pub submitted: SimTime,
+    /// When the completion (MSI + reap) reached the guest.
+    pub completed: SimTime,
+}
+
+impl IoTiming {
+    /// The guest-observed latency.
+    pub fn latency(&self) -> SimDuration {
+        self.completed.saturating_duration_since(self.submitted)
+    }
+}
+
+/// A packet handed to the vSwitch by the backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EgressPacket {
+    /// Frame metadata.
+    pub packet: Packet,
+    /// Payload bytes (after the virtio-net header).
+    pub payload: Vec<u8>,
+    /// When the backend handed it to the switch.
+    pub at: SimTime,
+}
+
+/// One bm-guest with its dedicated bm-hypervisor process.
+#[derive(Debug)]
+pub struct BmGuestSession {
+    profile: IoBondProfile,
+    mac: MacAddr,
+    board: GuestRam,
+    base: GuestRam,
+    net_dev: IoBondDevice,
+    blk_dev: IoBondDevice,
+    net_rx_driver: VirtqueueDriver,
+    net_tx_driver: VirtqueueDriver,
+    blk_driver: VirtqueueDriver,
+    net_rx_backend: Virtqueue,
+    net_tx_backend: Virtqueue,
+    blk_backend: Virtqueue,
+    tx_pool: StagingPool,
+    rx_pool: StagingPool,
+    blk_pool: StagingPool,
+    limits: InstanceLimits,
+    /// rx guest heads → their buffer slot, for reuse after delivery.
+    rx_posted: HashMap<u16, bmhive_mem::SgList>,
+    /// tx guest heads → their buffer slot.
+    tx_posted: HashMap<u16, bmhive_mem::SgList>,
+    /// blk guest heads → their buffer slots.
+    blk_posted: HashMap<u16, Vec<bmhive_mem::SgList>>,
+    /// blk shadow-side completions pending backend processing:
+    /// shadow head → store completion time.
+    total_tx: u64,
+    total_rx: u64,
+    total_io: u64,
+}
+
+/// Size of one posted rx buffer (hdr + MTU frame).
+const RX_BUF: u32 = 2048;
+
+impl BmGuestSession {
+    /// Builds a powered-on, handshaken guest: queues of `queue_size`
+    /// entries, a 64 MiB board arena for I/O buffers, production or
+    /// unrestricted `limits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_size` is not a power of two (virtio requirement).
+    pub fn new(
+        profile: IoBondProfile,
+        mac: MacAddr,
+        queue_size: u16,
+        limits: InstanceLimits,
+    ) -> Self {
+        let mut board = GuestRam::new(256 << 20);
+        let mut base = GuestRam::new(256 << 20);
+
+        // Guest ring layouts in board RAM.
+        let rx_layout = QueueLayout::contiguous(GuestAddr::new(0x10_000), queue_size);
+        let tx_layout = QueueLayout::contiguous(
+            (rx_layout.used + rx_layout.footprint()).align_up(4096),
+            queue_size,
+        );
+        let blk_layout = QueueLayout::contiguous(
+            (tx_layout.used + tx_layout.footprint()).align_up(4096),
+            queue_size,
+        );
+
+        // IO-Bond devices with their frontends.
+        let mut net_dev = IoBondDevice::new(
+            profile,
+            DeviceType::Net,
+            Feature::NetMac as u64 | Feature::RingIndirectDesc as u64,
+            queue_size,
+            bmhive_virtio::NetConfig::with_mac(mac.0)
+                .to_bytes()
+                .to_vec(),
+        );
+        let mut blk_dev = IoBondDevice::new(
+            profile,
+            DeviceType::Block,
+            Feature::BlkFlush as u64 | Feature::RingIndirectDesc as u64,
+            queue_size,
+            bmhive_virtio::BlkConfig::with_capacity_bytes(40 << 30)
+                .to_bytes()
+                .to_vec(),
+        );
+
+        // Driver handshakes (the full register-level handshake is
+        // exercised in the virtio/pcie tests; sessions use the shortcut).
+        net_dev
+            .function_mut()
+            .state_mut()
+            .driver_handshake(&[rx_layout, tx_layout]);
+        blk_dev
+            .function_mut()
+            .state_mut()
+            .driver_handshake(&[blk_layout]);
+
+        // Shadow rings + staging pools in the backend's base RAM.
+        let used = net_dev
+            .activate(&mut base, GuestAddr::new(0x100_000))
+            .expect("net activate");
+        blk_dev
+            .activate(&mut base, (GuestAddr::new(0x100_000) + used).align_up(4096))
+            .expect("blk activate");
+
+        let net_rx_backend = Virtqueue::new(net_dev.shadow(RX_Q).expect("active").shadow_layout());
+        let net_tx_backend = Virtqueue::new(net_dev.shadow(TX_Q).expect("active").shadow_layout());
+        let blk_backend = Virtqueue::new(blk_dev.shadow(0).expect("active").shadow_layout());
+
+        let net_rx_driver = VirtqueueDriver::new(&mut board, rx_layout).expect("rx ring");
+        let net_tx_driver = VirtqueueDriver::new(&mut board, tx_layout).expect("tx ring");
+        let blk_driver = VirtqueueDriver::new(&mut board, blk_layout).expect("blk ring");
+
+        // Guest-side buffer arenas in board RAM.
+        let tx_pool = StagingPool::new(GuestAddr::new(0x100_0000), 2 * u32::from(queue_size), 4096);
+        let rx_pool = StagingPool::new(
+            GuestAddr::new(0x200_0000),
+            2 * u32::from(queue_size),
+            RX_BUF,
+        );
+        let blk_pool = StagingPool::new(
+            GuestAddr::new(0x400_0000),
+            4 * u32::from(queue_size),
+            64 * 1024,
+        );
+
+        let mut session = BmGuestSession {
+            profile,
+            mac,
+            board,
+            base,
+            net_dev,
+            blk_dev,
+            net_rx_driver,
+            net_tx_driver,
+            blk_driver,
+            net_rx_backend,
+            net_tx_backend,
+            blk_backend,
+            tx_pool,
+            rx_pool,
+            blk_pool,
+            limits,
+            rx_posted: HashMap::new(),
+            tx_posted: HashMap::new(),
+            blk_posted: HashMap::new(),
+            total_tx: 0,
+            total_rx: 0,
+            total_io: 0,
+        };
+        session.replenish_rx().expect("initial rx buffers");
+        session
+    }
+
+    /// The guest's MAC address.
+    pub fn mac(&self) -> MacAddr {
+        self.mac
+    }
+
+    /// The IO-Bond hardware profile in use.
+    pub fn profile(&self) -> &IoBondProfile {
+        &self.profile
+    }
+
+    /// Packets sent / received / block ops completed so far.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.total_tx, self.total_rx, self.total_io)
+    }
+
+    /// Keeps the rx ring stocked with buffers, as a net driver's NAPI
+    /// refill does.
+    fn replenish_rx(&mut self) -> Result<(), SessionError> {
+        while self.net_rx_driver.num_free() > 0 {
+            let Some(buf) = self.rx_pool.alloc(u64::from(RX_BUF)) else {
+                break;
+            };
+            let segs: Vec<SgSegment> = buf.segments().to_vec();
+            let head = self.net_rx_driver.add_buf(&mut self.board, &[], &segs)?;
+            self.rx_posted.insert(head, buf);
+        }
+        Ok(())
+    }
+
+    /// Sends one packet: writes it into board RAM, posts it on the tx
+    /// ring, kicks IO-Bond, lets the PMD backend consume the shadow ring
+    /// and produce the egress frame, then completes the guest ring.
+    ///
+    /// Returns the egress packet (for the caller to hand to the vSwitch)
+    /// and the guest-observed timing.
+    ///
+    /// # Errors
+    ///
+    /// Fails on ring errors or buffer exhaustion.
+    pub fn net_send(
+        &mut self,
+        dst: MacAddr,
+        kind: PacketKind,
+        payload: &[u8],
+        now: SimTime,
+    ) -> Result<(EgressPacket, IoTiming), SessionError> {
+        // Guest: build hdr + payload in board RAM.
+        let total = VIRTIO_NET_HDR_LEN + payload.len() as u64;
+        let buf = self.tx_pool.alloc(total).ok_or(SessionError::NoBuffers)?;
+        let hdr = VirtioNetHeader::simple();
+        // The buffer may span slots; scatter hdr+payload across it.
+        let mut bytes = hdr.to_bytes().to_vec();
+        bytes.extend_from_slice(payload);
+        buf.scatter(&mut self.board, &bytes)?;
+        let segs: Vec<SgSegment> = buf.segments().to_vec();
+        let head = self.net_tx_driver.add_buf(&mut self.board, &segs, &[])?;
+        self.tx_posted.insert(head, buf);
+
+        // Kick: one PCI write across the guest link.
+        let kicked = now + self.profile.guest_register_access();
+        self.net_dev.function_mut().state_mut(); // (doorbell recorded below through service)
+
+        // IO-Bond syncs the chain into the shadow ring.
+        let report = self
+            .net_dev
+            .service(&mut self.board, &mut self.base, kicked)?;
+        let synced_at = report.tx[TX_Q].done_at;
+
+        // Backend PMD sees the head register move (one base-side
+        // register read) and consumes the shadow chain.
+        let seen = synced_at + self.profile.base_register_access();
+        let chain = self
+            .net_tx_backend
+            .pop_avail(&self.base)?
+            .ok_or(SessionError::BadRequest(
+                "tx chain missing from shadow ring",
+            ))?;
+        let frame = chain.readable.gather(&self.base)?;
+        if frame.len() < VIRTIO_NET_HDR_LEN as usize {
+            return Err(SessionError::BadRequest(
+                "frame shorter than virtio-net header",
+            ));
+        }
+        let payload_out = frame[VIRTIO_NET_HDR_LEN as usize..].to_vec();
+        let packet = Packet::new(self.mac, dst, kind, payload_out.len() as u32, self.total_tx);
+
+        // Rate limiting at the backend (identical for vm-guests).
+        let admitted = self.limits.admit_packet(packet.wire_bytes(), seen);
+
+        // Backend completes the shadow chain; IO-Bond returns the
+        // completion to the guest with an MSI.
+        self.net_tx_backend
+            .push_used(&mut self.base, chain.head, 0)?;
+        let report = self
+            .net_dev
+            .service(&mut self.board, &mut self.base, admitted)?;
+        let done = report.completions.first().map(|c| c.at).unwrap_or(admitted);
+        // Guest reaps and frees the buffer.
+        while let Some((head, _)) = self.net_tx_driver.poll_used(&self.board)? {
+            if let Some(buf) = self.tx_posted.remove(&head) {
+                self.tx_pool.free(&buf);
+            }
+        }
+        self.total_tx += 1;
+        Ok((
+            EgressPacket {
+                packet,
+                payload: payload_out,
+                at: admitted,
+            },
+            IoTiming {
+                submitted: now,
+                completed: done,
+            },
+        ))
+    }
+
+    /// Delivers one ingress packet to the guest: the backend fills a
+    /// posted rx buffer in the shadow ring; IO-Bond DMA-copies it into
+    /// the guest's buffer and raises the MSI; the guest reaps it.
+    ///
+    /// Returns the payload as the guest read it, and the timing (from
+    /// backend receipt to guest reap).
+    ///
+    /// # Errors
+    ///
+    /// Fails on ring errors; returns `NoBuffers` if the guest has no rx
+    /// buffer posted (the frame would be dropped).
+    pub fn net_receive(
+        &mut self,
+        payload: &[u8],
+        now: SimTime,
+    ) -> Result<(Vec<u8>, IoTiming), SessionError> {
+        // Make sure freshly-posted buffers have propagated to the shadow
+        // ring.
+        self.net_dev.service(&mut self.board, &mut self.base, now)?;
+        let chain = self
+            .net_rx_backend
+            .pop_avail(&self.base)?
+            .ok_or(SessionError::NoBuffers)?;
+        // Backend writes hdr + payload into the staging buffer.
+        let mut bytes = VirtioNetHeader::simple().to_bytes().to_vec();
+        bytes.extend_from_slice(payload);
+        let written = chain.writable.scatter(&mut self.base, &bytes)?;
+        self.net_rx_backend
+            .push_used(&mut self.base, chain.head, written as u32)?;
+
+        // IO-Bond copies back and interrupts the guest.
+        let report = self.net_dev.service(&mut self.board, &mut self.base, now)?;
+        let done = report.completions.first().map(|c| c.at).unwrap_or(now);
+
+        // Guest interrupt handler reaps.
+        let mut delivered = None;
+        while let Some((head, len)) = self.net_rx_driver.poll_used(&self.board)? {
+            let buf = self
+                .rx_posted
+                .remove(&head)
+                .ok_or(SessionError::BadRequest("unknown rx head"))?;
+            let data = buf.gather(&self.board)?;
+            let data = data[..len as usize].to_vec();
+            if data.len() < VIRTIO_NET_HDR_LEN as usize {
+                return Err(SessionError::BadRequest("rx frame shorter than header"));
+            }
+            delivered = Some(data[VIRTIO_NET_HDR_LEN as usize..].to_vec());
+            self.rx_pool.free(&buf);
+        }
+        self.replenish_rx()?;
+        self.total_rx += 1;
+        let payload_out = delivered.ok_or(SessionError::BadRequest("no rx completion"))?;
+        Ok((
+            payload_out,
+            IoTiming {
+                submitted: now,
+                completed: done,
+            },
+        ))
+    }
+
+    /// Issues one block request against `store` and runs it to
+    /// completion: header + data + status cross to the shadow ring, the
+    /// backend executes it on the store (after the IOPS/bandwidth caps),
+    /// and the completion flows back with the data.
+    ///
+    /// For reads, returns the bytes read.
+    ///
+    /// # Errors
+    ///
+    /// Fails on ring errors or buffer exhaustion.
+    pub fn blk_request(
+        &mut self,
+        store: &mut BlockStore,
+        req: BlkRequestType,
+        sector: u64,
+        data: &[u8],
+        read_len: u64,
+        now: SimTime,
+    ) -> Result<(BlkStatus, Vec<u8>, IoTiming), SessionError> {
+        // Guest: header buffer (16 B) + data + status byte.
+        let hdr_buf = self.blk_pool.alloc(16).ok_or(SessionError::NoBuffers)?;
+        let hdr = BlkRequestHeader::new(req, sector);
+        hdr_buf.scatter(&mut self.board, &hdr.to_bytes())?;
+        let mut readable: Vec<SgSegment> = hdr_buf.segments().to_vec();
+        let mut writable: Vec<SgSegment> = Vec::new();
+        let mut slots = vec![hdr_buf];
+
+        let is_read = matches!(req, BlkRequestType::In);
+        if is_read && read_len > 0 {
+            let buf = self
+                .blk_pool
+                .alloc(read_len)
+                .ok_or(SessionError::NoBuffers)?;
+            writable.extend_from_slice(buf.segments());
+            slots.push(buf);
+        } else if !data.is_empty() {
+            let buf = self
+                .blk_pool
+                .alloc(data.len() as u64)
+                .ok_or(SessionError::NoBuffers)?;
+            buf.scatter(&mut self.board, data)?;
+            readable.extend_from_slice(buf.segments());
+            slots.push(buf);
+        }
+        let status_buf = self.blk_pool.alloc(1).ok_or(SessionError::NoBuffers)?;
+        writable.extend_from_slice(status_buf.segments());
+        slots.push(status_buf);
+
+        let head = self
+            .blk_driver
+            .add_buf(&mut self.board, &readable, &writable)?;
+        self.blk_posted.insert(head, slots);
+
+        // Kick + sync to shadow.
+        let kicked = now + self.profile.guest_register_access();
+        let report = self
+            .blk_dev
+            .service(&mut self.board, &mut self.base, kicked)?;
+        let synced = report.tx[0].done_at + self.profile.base_register_access();
+
+        // Backend: parse, rate-limit, execute on the store.
+        let chain = self
+            .blk_backend
+            .pop_avail(&self.base)?
+            .ok_or(SessionError::BadRequest(
+                "blk chain missing from shadow ring",
+            ))?;
+        let (_status, written, io_done) = self.execute_blk(store, &chain, synced)?;
+        self.blk_backend
+            .push_used(&mut self.base, chain.head, written)?;
+
+        // Completion back to the guest.
+        let report = self
+            .blk_dev
+            .service(&mut self.board, &mut self.base, io_done)?;
+        let done = report.completions.first().map(|c| c.at).unwrap_or(io_done);
+
+        // Guest reaps: read status byte and data.
+        let mut result = (BlkStatus::IoErr, Vec::new());
+        while let Some((h, _len)) = self.blk_driver.poll_used(&self.board)? {
+            let slots = self
+                .blk_posted
+                .remove(&h)
+                .ok_or(SessionError::BadRequest("unknown blk head"))?;
+            // Last slot is the status byte; for reads the middle slot is
+            // the data.
+            let status_slot = slots.last().expect("status slot");
+            let status_byte = status_slot.gather(&self.board)?[0];
+            let data_out = if is_read && slots.len() == 3 {
+                slots[1].gather(&self.board)?
+            } else {
+                Vec::new()
+            };
+            result = (BlkStatus::from_wire(status_byte), data_out);
+            for slot in &slots {
+                self.blk_pool.free(slot);
+            }
+        }
+        self.total_io += 1;
+        Ok((
+            result.0,
+            result.1,
+            IoTiming {
+                submitted: now,
+                completed: done,
+            },
+        ))
+    }
+
+    /// The backend half of a block request: parse the header out of the
+    /// shadow chain, apply the instance caps, run the store, fill the
+    /// response.
+    fn execute_blk(
+        &mut self,
+        store: &mut BlockStore,
+        chain: &DescChain,
+        now: SimTime,
+    ) -> Result<(BlkStatus, u32, SimTime), SessionError> {
+        let readable = chain.readable.gather(&self.base)?;
+        if readable.len() < 16 {
+            return Err(SessionError::BadRequest("blk header too short"));
+        }
+        let hdr = BlkRequestHeader::from_bytes(&readable);
+        let data_in = &readable[16..];
+        let writable_len = chain.writable.total_len();
+        if writable_len == 0 {
+            return Err(SessionError::BadRequest("blk chain lacks status byte"));
+        }
+        let data_out_len = writable_len - 1;
+
+        match hdr.req_type {
+            BlkRequestType::In => {
+                let admitted = self.limits.admit_io(data_out_len, now);
+                let io = store.submit(IoKind::Read, data_out_len, admitted);
+                // Synthesize deterministic volume contents: sector-seeded
+                // bytes, so reads are verifiable.
+                let mut bytes: Vec<u8> = Vec::with_capacity(data_out_len as usize);
+                for i in 0..data_out_len {
+                    bytes.push((hdr.sector.wrapping_add(i) % 251) as u8);
+                }
+                bytes.push(BlkStatus::Ok.to_wire());
+                let written = chain.writable.scatter(&mut self.base, &bytes)?;
+                Ok((BlkStatus::Ok, written as u32, io.complete_at))
+            }
+            BlkRequestType::Out => {
+                let admitted = self.limits.admit_io(data_in.len() as u64, now);
+                let io = store.submit(IoKind::Write, data_in.len() as u64, admitted);
+                let (_, status_sg) = chain.writable.split_at(data_out_len);
+                status_sg.scatter(&mut self.base, &[BlkStatus::Ok.to_wire()])?;
+                Ok((BlkStatus::Ok, 1, io.complete_at))
+            }
+            BlkRequestType::Flush => {
+                let (_, status_sg) = chain.writable.split_at(data_out_len);
+                status_sg.scatter(&mut self.base, &[BlkStatus::Ok.to_wire()])?;
+                Ok((BlkStatus::Ok, 1, now + SimDuration::from_micros(50)))
+            }
+            BlkRequestType::Unsupported(_) => {
+                let (_, status_sg) = chain.writable.split_at(data_out_len);
+                status_sg.scatter(&mut self.base, &[BlkStatus::Unsupported.to_wire()])?;
+                Ok((BlkStatus::Unsupported, 1, now))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmhive_cloud::blockstore::StorageClass;
+
+    fn session() -> BmGuestSession {
+        BmGuestSession::new(
+            IoBondProfile::fpga(),
+            MacAddr::for_guest(1),
+            64,
+            InstanceLimits::unrestricted(),
+        )
+    }
+
+    #[test]
+    fn net_send_crosses_both_domains() {
+        let mut s = session();
+        let (egress, timing) = s
+            .net_send(
+                MacAddr::for_guest(2),
+                PacketKind::Udp,
+                b"hello-switch",
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(egress.payload, b"hello-switch");
+        assert_eq!(egress.packet.src, MacAddr::for_guest(1));
+        assert_eq!(egress.packet.payload, 12);
+        // The guest paid at least the kick + DMA + MSI costs.
+        assert!(
+            timing.latency() > SimDuration::from_micros(2),
+            "{}",
+            timing.latency()
+        );
+        assert_eq!(s.counters().0, 1);
+    }
+
+    #[test]
+    fn net_receive_delivers_payload_into_board_ram() {
+        let mut s = session();
+        let (payload, timing) = s
+            .net_receive(b"ingress-frame", SimTime::from_micros(5))
+            .unwrap();
+        assert_eq!(payload, b"ingress-frame");
+        assert!(timing.completed > timing.submitted);
+        assert_eq!(s.counters().1, 1);
+    }
+
+    #[test]
+    fn echo_round_trip_preserves_bytes() {
+        let mut s = session();
+        let msg = vec![0xa5u8; 700];
+        let (egress, _) = s
+            .net_send(MacAddr::for_guest(2), PacketKind::Udp, &msg, SimTime::ZERO)
+            .unwrap();
+        let (back, _) = s
+            .net_receive(&egress.payload, SimTime::from_micros(50))
+            .unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn blk_write_then_read_round_trip() {
+        let mut s = session();
+        let mut store = BlockStore::new(StorageClass::CloudSsd, 42);
+        let data = vec![7u8; 4096];
+        let (status, _, t1) = s
+            .blk_request(
+                &mut store,
+                BlkRequestType::Out,
+                100,
+                &data,
+                0,
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(status, BlkStatus::Ok);
+        assert!(t1.latency() > SimDuration::from_micros(50));
+        let (status, out, t2) = s
+            .blk_request(&mut store, BlkRequestType::In, 100, &[], 4096, t1.completed)
+            .unwrap();
+        assert_eq!(status, BlkStatus::Ok);
+        assert_eq!(out.len(), 4096);
+        // Deterministic synthetic volume contents.
+        assert_eq!(out[0], 100u8);
+        assert!(t2.latency() > SimDuration::from_micros(50));
+        assert_eq!(s.counters().2, 2);
+    }
+
+    #[test]
+    fn unsupported_blk_request_reports_status() {
+        let mut s = session();
+        let mut store = BlockStore::new(StorageClass::CloudSsd, 1);
+        let (status, _, _) = s
+            .blk_request(
+                &mut store,
+                BlkRequestType::Unsupported(9),
+                0,
+                &[],
+                0,
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(status, BlkStatus::Unsupported);
+    }
+
+    #[test]
+    fn flush_completes_ok() {
+        let mut s = session();
+        let mut store = BlockStore::new(StorageClass::CloudSsd, 1);
+        let (status, _, t) = s
+            .blk_request(&mut store, BlkRequestType::Flush, 0, &[], 0, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(status, BlkStatus::Ok);
+        assert!(t.latency() >= SimDuration::from_micros(50));
+    }
+
+    #[test]
+    fn production_limits_shape_io_rate() {
+        let mut s = BmGuestSession::new(
+            IoBondProfile::fpga(),
+            MacAddr::for_guest(3),
+            64,
+            InstanceLimits::production(),
+        );
+        let mut store = BlockStore::new(StorageClass::CloudSsd, 9);
+        // Fire 2 000 sequential 4 KiB reads as fast as completions allow;
+        // the 25 K IOPS cap must bound the rate.
+        let mut t = SimTime::ZERO;
+        let n = 2_000u64;
+        for i in 0..n {
+            let (_, _, timing) = s
+                .blk_request(&mut store, BlkRequestType::In, i * 8, &[], 4096, t)
+                .unwrap();
+            // Issue back-to-back (ignore per-op completion wait, keep the
+            // limiter as the only pacing force).
+            t = timing.submitted + SimDuration::from_micros(1);
+        }
+        // 2 000 ops minus the burst at 25 K IOPS needs ≥ ~70 ms; the
+        // queueing inside the limiter pushes completions out.
+        let (_, _, last) = s
+            .blk_request(&mut store, BlkRequestType::In, 0, &[], 4096, t)
+            .unwrap();
+        assert!(
+            last.completed > SimTime::from_millis(60),
+            "completed {}",
+            last.completed
+        );
+    }
+
+    #[test]
+    fn many_rounds_do_not_leak_buffers() {
+        let mut s = session();
+        let mut store = BlockStore::new(StorageClass::LocalSsd, 4);
+        let mut t = SimTime::ZERO;
+        for i in 0..200u64 {
+            let (_, timing) = s
+                .net_send(MacAddr::for_guest(2), PacketKind::Udp, &[1, 2, 3], t)
+                .unwrap();
+            t = timing.completed;
+            let (_, timing) = s.net_receive(b"pong", t).unwrap();
+            t = timing.completed;
+            let (_, _, timing) = s
+                .blk_request(&mut store, BlkRequestType::In, i, &[], 512, t)
+                .unwrap();
+            t = timing.completed;
+        }
+        let (tx, rx, io) = s.counters();
+        assert_eq!((tx, rx, io), (200, 200, 200));
+    }
+
+    #[test]
+    fn asic_profile_lowers_latency() {
+        let mut fpga = session();
+        let mut asic = BmGuestSession::new(
+            IoBondProfile::asic(),
+            MacAddr::for_guest(1),
+            64,
+            InstanceLimits::unrestricted(),
+        );
+        let (_, t_fpga) = fpga
+            .net_send(MacAddr::for_guest(2), PacketKind::Udp, b"x", SimTime::ZERO)
+            .unwrap();
+        let (_, t_asic) = asic
+            .net_send(MacAddr::for_guest(2), PacketKind::Udp, b"x", SimTime::ZERO)
+            .unwrap();
+        assert!(t_asic.latency() < t_fpga.latency());
+    }
+}

@@ -1,0 +1,53 @@
+//! Hypervisors: the bm-hypervisor and the KVM-style baseline.
+//!
+//! §3.2: "The bm-hypervisor, which is also a user-space process similar
+//! to vm-hypervisor, is responsible for managing the life cycle of
+//! bm-guests, providing the backend support for virtio devices, and
+//! interfacing with the cloud infrastructure. ... Every bm-hypervisor
+//! process provides service to one bm-guest only."
+//!
+//! * [`bm`] — [`BmGuestSession`]: one bm-guest's full functional stack —
+//!   compute-board RAM, IO-Bond net/blk devices with shadow vrings in
+//!   the backend process's base RAM, poll-mode backends, and rate
+//!   limits. Packets and block requests really traverse the rings and
+//!   both memory domains.
+//! * [`vm`] — [`VmGuestSession`]: the baseline — the same virtio rings
+//!   in one shared memory, a vhost-style backend, and the KVM cost
+//!   model (kick exits, interrupt injection, halt wakeups).
+//! * [`boot`] — the §3.2 boot flow: EFI firmware loading the bootloader
+//!   and kernel over virtio-blk from cloud storage; the same image boots
+//!   on either platform (cold migration).
+//! * [`path`] — calibrated per-operation latency/throughput models
+//!   derived from the same constants, for the million-packet
+//!   experiments where driving the functional rings per packet would be
+//!   waste.
+//!
+//! Beyond the deployed system, the §6 extensions are implemented too —
+//! `upgrade` (Orthus-style live bm-hypervisor upgrade), `migrate` (the
+//! on-demand-virtualization live-migration prototype, with its two
+//! documented drawbacks as first-class errors), `console` (the VGA
+//! console of §3.4.2), `precopy` (classic vm-guest live migration, for
+//! contrast), and `slowpath` (the undeployed tap-device test path,
+//! priced to show why it stayed undeployed).
+
+pub mod bm;
+pub mod boot;
+pub mod console;
+pub mod migrate;
+pub mod path;
+pub mod pmd;
+pub mod precopy;
+pub mod slowpath;
+pub mod upgrade;
+pub mod vm;
+
+pub use bm::BmGuestSession;
+pub use boot::{boot_guest, BootReport};
+pub use console::{ConsoleServer, VgaConsole};
+pub use migrate::{convert_to_bm, convert_to_vm, GuestOs, MigrationError, MigrationPolicy};
+pub use path::{IoPath, PathPlatform};
+pub use pmd::BackendMode;
+pub use precopy::{PrecopyModel, PrecopyPlan};
+pub use slowpath::NetBackendPath;
+pub use upgrade::{BackendProcess, BackendState, UpgradeReport};
+pub use vm::VmGuestSession;

@@ -1,0 +1,320 @@
+//! Calibrated per-operation I/O path models.
+//!
+//! The functional sessions ([`crate::bm`], [`crate::vm`]) move every
+//! byte through real rings — right for correctness tests and single-shot
+//! latency, far too slow for the §4.3 experiments that push millions of
+//! packets per second for simulated seconds. [`IoPath`] is the analytic
+//! form of the *same* costs: each constant below is derived from (and
+//! cross-checked in tests against) the functional machinery and the
+//! paper's published numbers.
+//!
+//! Key asymmetries it encodes:
+//!
+//! * the bm-guest pays IO-Bond's PCIe hops (0.8 µs registers, DMA
+//!   setup) per operation; under batching these amortise but remain
+//!   slightly above the vm-guest's shared-memory vhost handoff — which
+//!   is why the vm-guest is "slightly better with less jitters" in
+//!   Fig. 9 and slightly ahead under DPDK in Fig. 10;
+//! * the vm-guest pays interrupt injection, halt wakeups, host memcpy,
+//!   and preemption bursts per I/O — which is why the bm-guest wins
+//!   Fig. 11 by ~25 % on average and ~3× at the 99.9th percentile;
+//! * with limits removed, the bm path's DPDK-mode ceiling is the
+//!   IO-Bond pipeline at ≈16 M PPS (§4.3).
+
+use bmhive_iobond::IoBondProfile;
+use bmhive_sim::{SimDuration, SimRng};
+
+/// Which platform's I/O path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PathPlatform {
+    /// Bare-metal guest through IO-Bond.
+    Bm(IoBondProfile),
+    /// vm-guest through vhost shared memory.
+    Vm,
+}
+
+/// The per-operation path model.
+#[derive(Debug, Clone)]
+pub struct IoPath {
+    platform: PathPlatform,
+    rng: SimRng,
+}
+
+/// Batch size the drivers sustain under load (NAPI / sendmmsg / PMD
+/// burst).
+const BATCH: f64 = 64.0;
+
+impl IoPath {
+    /// A bm-guest path under `profile`.
+    pub fn bm(profile: IoBondProfile, seed: u64) -> Self {
+        IoPath {
+            platform: PathPlatform::Bm(profile),
+            rng: SimRng::with_stream(seed, 0x70617468),
+        }
+    }
+
+    /// A vm-guest path.
+    pub fn vm(seed: u64) -> Self {
+        IoPath {
+            platform: PathPlatform::Vm,
+            rng: SimRng::with_stream(seed, 0x766d),
+        }
+    }
+
+    /// The platform.
+    pub fn platform(&self) -> PathPlatform {
+        self.platform
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self.platform {
+            PathPlatform::Bm(_) => "bm-guest",
+            PathPlatform::Vm => "vm-guest",
+        }
+    }
+
+    /// One-way guest↔backend latency for a single un-batched packet of
+    /// `payload` bytes, excluding the protocol stack and the physical
+    /// wire. This is the Fig. 10 differentiator.
+    pub fn net_oneway(&self, payload: u32) -> SimDuration {
+        match self.platform {
+            PathPlatform::Bm(p) => {
+                // notify reg + desc/payload DMA + PMD head-register poll
+                // + completion DMA + MSI.
+                let dma = p.dma().transfer_time(u64::from(payload) + 16);
+                p.guest_register_access()
+                    + dma
+                    + p.base_register_access()
+                    + SimDuration::from_nanos(300) // PMD burst gap
+            }
+            PathPlatform::Vm => {
+                // ioeventfd kick into a busy-polling vhost thread, one
+                // memcpy, descriptor handoff.
+                SimDuration::from_nanos(900)
+                    + SimDuration::from_secs_f64(f64::from(payload) / 10e9)
+                    + SimDuration::from_nanos(600)
+            }
+        }
+    }
+
+    /// Completion (interrupt) delivery into the guest for one packet or
+    /// I/O, when the guest is busy (pipelined load).
+    pub fn completion_busy(&self) -> SimDuration {
+        match self.platform {
+            PathPlatform::Bm(p) => p.guest_register_access(), // MSI write
+            PathPlatform::Vm => SimDuration::from_micros(1),  // injection, vCPU running
+        }
+    }
+
+    /// Per-packet pipeline service time under batched kernel-stack load
+    /// (sendmmsg + NAPI + multiqueue): the Fig. 9 bottleneck. The stack
+    /// and the path pipeline, but imperfectly — half the path cost shows
+    /// through.
+    pub fn per_packet_kernel(&self) -> SimDuration {
+        let stack = SimDuration::from_nanos(240); // batched kernel tx per packet
+        stack + self.per_packet_path() / 2 + SimDuration::from_nanos(20)
+    }
+
+    /// Per-packet pipeline service under DPDK bypass (the unrestricted
+    /// Fig. 9 measurement).
+    pub fn per_packet_dpdk(&self) -> SimDuration {
+        let stack = SimDuration::from_nanos(35);
+        stack + self.per_packet_path() / 2
+    }
+
+    /// The guest→backend path's amortised per-packet cost at full batch.
+    fn per_packet_path(&self) -> SimDuration {
+        match self.platform {
+            PathPlatform::Bm(p) => {
+                // Per-batch: one notify + one head update; per-packet:
+                // descriptor + 64 B payload through the DMA engine, plus
+                // the shadow descriptor write on the far side.
+                let per_batch = p.guest_register_access() + p.base_register_access();
+                let per_packet = p.dma().transfer_time(80).saturating_sub(p.dma().setup())
+                    + SimDuration::from_nanos((p.dma().setup().as_nanos() as f64 / BATCH) as u64)
+                    + SimDuration::from_nanos(18);
+                per_packet + SimDuration::from_nanos((per_batch.as_nanos() as f64 / BATCH) as u64)
+            }
+            PathPlatform::Vm => {
+                // vhost: amortised kick + pointer chase + memcpy 64 B.
+                SimDuration::from_nanos(30)
+            }
+        }
+    }
+
+    /// Sustainable PPS through the guest path with the kernel stack.
+    pub fn max_pps_kernel(&self) -> f64 {
+        1.0 / self.per_packet_kernel().as_secs_f64()
+    }
+
+    /// Sustainable PPS through the guest path with DPDK.
+    pub fn max_pps_dpdk(&self) -> f64 {
+        1.0 / self.per_packet_dpdk().as_secs_f64()
+    }
+
+    /// Relative throughput jitter (coefficient of variation) of the
+    /// packet pipeline: the bm path crosses three PCIe buses and
+    /// arbitrates for the DMA engine, so it wobbles slightly more
+    /// (Fig. 9: "the vm-guest performed slightly better ... with less
+    /// jitters").
+    pub fn pps_jitter_cv(&self) -> f64 {
+        match self.platform {
+            PathPlatform::Bm(_) => 0.030,
+            PathPlatform::Vm => 0.012,
+        }
+    }
+
+    /// Samples one second's achieved PPS around a mean rate.
+    pub fn sample_pps(&mut self, mean: f64) -> f64 {
+        let cv = self.pps_jitter_cv();
+        (mean * (1.0 + cv * self.rng.normal())).max(0.0)
+    }
+
+    /// Sustained bulk-data throughput of the guest↔backend data stage,
+    /// GB/s: the IO-Bond DMA engine (50 Gbit/s ≈ 6 GB/s effective) for
+    /// the bm-guest, a vhost thread's double memcpy for the vm-guest.
+    /// This is the §4.3 "100% faster in bandwidth" mechanism — "its data
+    /// are copied directly to the block device's I/O request queue by
+    /// the DMA engines of IO-Bond; while the vm-guest requires extra
+    /// memory copies by the CPU".
+    pub fn bulk_copy_gbs(&self) -> f64 {
+        match self.platform {
+            PathPlatform::Bm(p) => p.dma().bytes_per_sec() / 1e9 * 0.96,
+            PathPlatform::Vm => 3.0,
+        }
+    }
+
+    /// Samples the per-I/O overhead a storage operation pays beyond the
+    /// store's service time: submission, completion delivery, copies,
+    /// and (vm only) halt wakeups and preemption bursts. The Fig. 11
+    /// average gap and 99.9th-percentile gap both come from here.
+    pub fn storage_overhead(&mut self, bytes: u64) -> SimDuration {
+        match self.platform {
+            PathPlatform::Bm(p) => {
+                // Kick + PMD detect + data DMA + completion + MSI. The
+                // DMA engine moves the data; no CPU copy.
+                p.emulated_pci_access()
+                    + p.dma().transfer_time(bytes)
+                    + p.guest_register_access()
+                    + SimDuration::from_nanos(500)
+            }
+            PathPlatform::Vm => {
+                let mut t = SimDuration::from_micros(3) // ioeventfd kick
+                    + SimDuration::from_micros(4) // interrupt injection
+                    + SimDuration::from_secs_f64(2.0 * bytes as f64 / 10e9); // two CPU copies
+                                                                             // Halt wakeup: fio's sync threads sleep in io_wait.
+                if !self.rng.chance(0.3) {
+                    t += SimDuration::from_secs_f64(self.rng.exp(38e-6));
+                }
+                // Host-task preemption burst on the completion path.
+                if self.rng.chance(0.004) {
+                    t += SimDuration::from_micros(800);
+                }
+                t
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmhive_sim::Histogram;
+
+    #[test]
+    fn kernel_pps_straddles_the_fig9_band() {
+        // Both guests must exceed 3.2 M PPS; the vm-guest is slightly
+        // ahead of the bm-guest; neither reaches the 4 M cap.
+        let bm = IoPath::bm(IoBondProfile::fpga(), 1);
+        let vm = IoPath::vm(1);
+        let bm_pps = bm.max_pps_kernel();
+        let vm_pps = vm.max_pps_kernel();
+        assert!(bm_pps > 3.2e6, "bm {bm_pps}");
+        assert!(vm_pps > 3.2e6, "vm {vm_pps}");
+        assert!(vm_pps > bm_pps, "vm {vm_pps} should edge out bm {bm_pps}");
+        assert!(bm_pps < 4.0e6 && vm_pps < 4.0e6);
+    }
+
+    #[test]
+    fn unrestricted_bm_reaches_16m_pps() {
+        let bm = IoPath::bm(IoBondProfile::fpga(), 2);
+        let pps = bm.max_pps_dpdk();
+        assert!((14e6..=18e6).contains(&pps), "bm dpdk {pps}");
+    }
+
+    #[test]
+    fn bm_jitter_exceeds_vm_jitter() {
+        let bm = IoPath::bm(IoBondProfile::fpga(), 3);
+        let vm = IoPath::vm(3);
+        assert!(bm.pps_jitter_cv() > vm.pps_jitter_cv());
+    }
+
+    #[test]
+    fn dpdk_oneway_exposes_the_iobond_delta() {
+        // Fig. 10: with the kernel stack out of the way, the vm path is
+        // visibly shorter.
+        let bm = IoPath::bm(IoBondProfile::fpga(), 4);
+        let vm = IoPath::vm(4);
+        let bm_ow = bm.net_oneway(64);
+        let vm_ow = vm.net_oneway(64);
+        assert!(bm_ow > vm_ow, "bm {bm_ow} vm {vm_ow}");
+        // But the delta is small in absolute terms (≈ a couple of µs).
+        assert!(bm_ow - vm_ow < SimDuration::from_micros(4));
+    }
+
+    #[test]
+    fn storage_overhead_means_match_fig11_direction() {
+        let mut bm = IoPath::bm(IoBondProfile::fpga(), 5);
+        let mut vm = IoPath::vm(5);
+        let n = 20_000;
+        let mut bm_h = Histogram::new();
+        let mut vm_h = Histogram::new();
+        for _ in 0..n {
+            bm_h.record_duration(bm.storage_overhead(4096));
+            vm_h.record_duration(vm.storage_overhead(4096));
+        }
+        // bm per-op overhead is a few µs; vm is tens of µs.
+        assert!(bm_h.mean() < 8.0, "bm mean {} µs", bm_h.mean());
+        assert!(
+            (25.0..=55.0).contains(&vm_h.mean()),
+            "vm mean {} µs",
+            vm_h.mean()
+        );
+        // Tail: vm occasionally eats an 800 µs preemption burst.
+        assert!(
+            vm_h.percentile(99.9) > 400.0,
+            "vm p99.9 {}",
+            vm_h.percentile(99.9)
+        );
+        assert!(
+            bm_h.percentile(99.9) < 10.0,
+            "bm p99.9 {}",
+            bm_h.percentile(99.9)
+        );
+    }
+
+    #[test]
+    fn asic_narrows_the_bm_path() {
+        let fpga = IoPath::bm(IoBondProfile::fpga(), 6);
+        let asic = IoPath::bm(IoBondProfile::asic(), 6);
+        assert!(asic.net_oneway(64) < fpga.net_oneway(64));
+        assert!(asic.max_pps_kernel() >= fpga.max_pps_kernel());
+    }
+
+    #[test]
+    fn sampled_pps_is_centred_on_the_mean() {
+        let mut bm = IoPath::bm(IoBondProfile::fpga(), 7);
+        let n = 10_000;
+        let mean = 3.3e6;
+        let sum: f64 = (0..n).map(|_| bm.sample_pps(mean)).sum();
+        let avg = sum / f64::from(n);
+        assert!((avg / mean - 1.0).abs() < 0.01, "avg {avg}");
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(IoPath::bm(IoBondProfile::fpga(), 0).label(), "bm-guest");
+        assert_eq!(IoPath::vm(0).label(), "vm-guest");
+    }
+}

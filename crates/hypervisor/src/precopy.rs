@@ -1,0 +1,183 @@
+//! Pre-copy VM live migration (§2 background).
+//!
+//! "A VM encapsulates all the current (virtual) hardware and software
+//! states of the guest operating system; it can be migrated from one
+//! physical server to another while the guest is running, i.e., the
+//! so-called VM live-migration."
+//!
+//! This is the capability the vm-based cloud has and BM-Hive gives up
+//! (§6 explains why the injected-layer prototype stayed a prototype).
+//! Reproducing it makes the trade concrete: [`PrecopyModel::plan`]
+//! computes the round-by-round transfer schedule, the stop-and-copy
+//! downtime, and — for write-heavy guests — the failure to converge
+//! that forces either a long brownout or an aborted migration.
+
+use bmhive_sim::SimDuration;
+
+/// Parameters of one pre-copy migration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecopyModel {
+    /// Guest RAM to move, bytes.
+    pub ram_bytes: u64,
+    /// How fast the workload dirties memory, bytes/second.
+    pub dirty_bytes_per_sec: f64,
+    /// Migration link throughput, Gbit/s.
+    pub link_gbps: f64,
+    /// Stop-and-copy when the residual dirty set is below this.
+    pub downtime_target_bytes: u64,
+    /// Give up (stop the guest regardless) after this many rounds.
+    pub max_rounds: u32,
+}
+
+/// One pre-copy round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Round {
+    /// Round number (1-based).
+    pub number: u32,
+    /// Bytes transferred this round.
+    pub bytes: u64,
+    /// Wall time of the round.
+    pub duration: SimDuration,
+}
+
+/// The migration schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrecopyPlan {
+    /// The iterative rounds.
+    pub rounds: Vec<Round>,
+    /// Whether the dirty set shrank below the target (graceful
+    /// stop-and-copy) or the round limit forced the stop.
+    pub converged: bool,
+    /// Guest pause for the final stop-and-copy.
+    pub downtime: SimDuration,
+    /// Total wall time including the downtime.
+    pub total: SimDuration,
+    /// Total bytes moved (can exceed RAM size several times over).
+    pub bytes_moved: u64,
+}
+
+impl PrecopyModel {
+    /// A 64 GiB guest over a 10 Gbit/s migration link with a 64 MiB
+    /// stop-and-copy budget.
+    pub fn evaluation_guest(dirty_bytes_per_sec: f64) -> Self {
+        PrecopyModel {
+            ram_bytes: 64 << 30,
+            dirty_bytes_per_sec,
+            link_gbps: 10.0,
+            downtime_target_bytes: 64 << 20,
+            max_rounds: 30,
+        }
+    }
+
+    fn link_bytes_per_sec(&self) -> f64 {
+        self.link_gbps * 1e9 / 8.0
+    }
+
+    /// Computes the migration schedule.
+    pub fn plan(&self) -> PrecopyPlan {
+        let link = self.link_bytes_per_sec();
+        let mut rounds = Vec::new();
+        let mut to_send = self.ram_bytes;
+        let mut bytes_moved = 0u64;
+        let mut total = SimDuration::ZERO;
+        let mut converged = false;
+        for number in 1..=self.max_rounds {
+            let duration = SimDuration::from_secs_f64(to_send as f64 / link);
+            rounds.push(Round {
+                number,
+                bytes: to_send,
+                duration,
+            });
+            bytes_moved += to_send;
+            total += duration;
+            // While this round ran, the guest dirtied more.
+            let dirtied = (self.dirty_bytes_per_sec * duration.as_secs_f64()) as u64;
+            to_send = dirtied.min(self.ram_bytes);
+            if to_send <= self.downtime_target_bytes {
+                converged = true;
+                break;
+            }
+            // Dirty rate >= link rate: each round redirties at least as
+            // much as it sent; stop iterating, it will never shrink.
+            if self.dirty_bytes_per_sec >= link {
+                break;
+            }
+        }
+        let downtime =
+            SimDuration::from_secs_f64(to_send as f64 / link) + SimDuration::from_millis(30); // device state + switchover
+        bytes_moved += to_send;
+        total += downtime;
+        PrecopyPlan {
+            rounds,
+            converged,
+            downtime,
+            total,
+            bytes_moved,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_guest_migrates_with_tiny_downtime() {
+        // 10 MB/s of dirtying: converges in a couple of rounds.
+        let plan = PrecopyModel::evaluation_guest(10e6).plan();
+        assert!(plan.converged);
+        assert!(plan.rounds.len() <= 3, "{} rounds", plan.rounds.len());
+        assert!(
+            plan.downtime < SimDuration::from_millis(120),
+            "downtime {}",
+            plan.downtime
+        );
+    }
+
+    #[test]
+    fn write_heavy_guest_never_converges() {
+        // Dirtying at 2 GB/s against a 1.25 GB/s link.
+        let plan = PrecopyModel::evaluation_guest(2e9).plan();
+        assert!(!plan.converged);
+        // The forced stop copies a RAM-sized residual: seconds of
+        // brownout — the §6 reason live migration is hard to promise.
+        assert!(
+            plan.downtime > SimDuration::from_secs(10),
+            "downtime {}",
+            plan.downtime
+        );
+    }
+
+    #[test]
+    fn dirty_rate_scales_round_count() {
+        let light = PrecopyModel::evaluation_guest(50e6).plan();
+        let heavy = PrecopyModel::evaluation_guest(600e6).plan();
+        assert!(heavy.rounds.len() >= light.rounds.len());
+        assert!(heavy.bytes_moved > light.bytes_moved);
+        assert!(heavy.downtime >= light.downtime);
+    }
+
+    #[test]
+    fn first_round_moves_all_of_ram() {
+        let plan = PrecopyModel::evaluation_guest(100e6).plan();
+        assert_eq!(plan.rounds[0].bytes, 64 << 30);
+        // 64 GiB at 10 Gbit/s ≈ 55 s.
+        assert!(plan.rounds[0].duration > SimDuration::from_secs(50));
+    }
+
+    #[test]
+    fn bytes_moved_can_exceed_ram_size() {
+        let plan = PrecopyModel::evaluation_guest(600e6).plan();
+        assert!(plan.bytes_moved > plan.rounds[0].bytes);
+    }
+
+    #[test]
+    fn round_limit_bounds_the_schedule() {
+        let model = PrecopyModel {
+            max_rounds: 5,
+            ..PrecopyModel::evaluation_guest(1.1e9)
+        };
+        let plan = model.plan();
+        assert!(plan.rounds.len() <= 5);
+    }
+}

@@ -1,0 +1,159 @@
+//! DMA engine timing model.
+//!
+//! §3.4.3: "IO-Bond internal DMA throughput is around 50 Gbps", and each
+//! PCIe x4 interface sustains 32 Gbps. [`DmaModel`] converts a transfer
+//! size into a [`SimDuration`] given a link bandwidth and a fixed
+//! per-transfer setup cost, and the actual byte movement between the two
+//! memory domains is done with [`DmaModel::transfer`].
+
+use crate::ram::{GuestRam, MemError};
+use crate::sg::SgList;
+use bmhive_sim::SimDuration;
+
+/// Timing model for a DMA engine or link: fixed setup latency plus
+/// size-proportional transfer time at a given bandwidth.
+///
+/// # Example
+///
+/// ```
+/// use bmhive_mem::DmaModel;
+/// use bmhive_sim::SimDuration;
+///
+/// // IO-Bond's internal engine: 50 Gbit/s, 0.2 us setup per transfer.
+/// let dma = DmaModel::new(50.0, SimDuration::from_nanos(200));
+/// let t = dma.transfer_time(64 * 1024);
+/// // 64 KiB at 50 Gbit/s ≈ 10.5 us, plus setup.
+/// assert!(t > SimDuration::from_micros(10) && t < SimDuration::from_micros(11));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DmaModel {
+    bandwidth_gbps: f64,
+    setup: SimDuration,
+}
+
+impl DmaModel {
+    /// Creates a model with `bandwidth_gbps` gigabits per second of
+    /// throughput and `setup` fixed cost per transfer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_gbps` is not positive and finite.
+    pub fn new(bandwidth_gbps: f64, setup: SimDuration) -> Self {
+        assert!(
+            bandwidth_gbps > 0.0 && bandwidth_gbps.is_finite(),
+            "DmaModel: bandwidth must be positive"
+        );
+        DmaModel {
+            bandwidth_gbps,
+            setup,
+        }
+    }
+
+    /// The modelled bandwidth in Gbit/s.
+    pub fn bandwidth_gbps(&self) -> f64 {
+        self.bandwidth_gbps
+    }
+
+    /// The fixed setup latency per transfer.
+    pub fn setup(&self) -> SimDuration {
+        self.setup
+    }
+
+    /// Time to move `bytes` bytes: setup + bytes / bandwidth.
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        let secs = (bytes as f64 * 8.0) / (self.bandwidth_gbps * 1e9);
+        self.setup + SimDuration::from_secs_f64(secs)
+    }
+
+    /// Moves bytes described by `src_sg` in `src` into the buffers
+    /// described by `dst_sg` in `dst`, returning the bytes moved and the
+    /// modelled transfer time. Copies `min(src_sg.total_len(),
+    /// dst_sg.total_len())` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if either list references memory
+    /// outside its RAM.
+    pub fn transfer(
+        &self,
+        src: &GuestRam,
+        src_sg: &SgList,
+        dst: &mut GuestRam,
+        dst_sg: &SgList,
+    ) -> Result<(u64, SimDuration), MemError> {
+        let data = src_sg.gather(src)?;
+        let moved = dst_sg.scatter(dst, &data)?;
+        Ok((moved, self.transfer_time(moved)))
+    }
+
+    /// The sustained throughput in bytes/second.
+    pub fn bytes_per_sec(&self) -> f64 {
+        self.bandwidth_gbps * 1e9 / 8.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::GuestAddr;
+    use crate::sg::SgSegment;
+
+    #[test]
+    fn transfer_time_scales_linearly() {
+        let dma = DmaModel::new(8.0, SimDuration::ZERO); // 1 GB/s
+        assert_eq!(dma.transfer_time(1_000_000), SimDuration::from_millis(1));
+        assert_eq!(dma.transfer_time(2_000_000), SimDuration::from_millis(2));
+        assert_eq!(dma.transfer_time(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn setup_cost_dominates_small_transfers() {
+        let dma = DmaModel::new(50.0, SimDuration::from_nanos(800));
+        // A 64-byte mailbox read is all setup.
+        let t = dma.transfer_time(64);
+        assert!(t >= SimDuration::from_nanos(800));
+        assert!(t < SimDuration::from_nanos(900));
+    }
+
+    #[test]
+    fn transfer_moves_bytes_between_domains() {
+        let dma = DmaModel::new(50.0, SimDuration::from_nanos(200));
+        let mut board = GuestRam::new(1 << 20);
+        let mut base = GuestRam::new(1 << 20);
+        board.write(GuestAddr::new(0x100), b"tx-payload").unwrap();
+        let src = SgList::single(GuestAddr::new(0x100), 10);
+        let dst = SgList::from_segments(vec![
+            SgSegment::new(GuestAddr::new(0x800), 4),
+            SgSegment::new(GuestAddr::new(0x900), 6),
+        ]);
+        let (moved, time) = dma.transfer(&board, &src, &mut base, &dst).unwrap();
+        assert_eq!(moved, 10);
+        assert!(time > SimDuration::ZERO);
+        assert_eq!(base.read_vec(GuestAddr::new(0x800), 4).unwrap(), b"tx-p");
+        assert_eq!(base.read_vec(GuestAddr::new(0x900), 6).unwrap(), b"ayload");
+    }
+
+    #[test]
+    fn transfer_is_limited_by_smaller_list() {
+        let dma = DmaModel::new(50.0, SimDuration::ZERO);
+        let src_ram = GuestRam::new(1 << 16);
+        let mut dst_ram = GuestRam::new(1 << 16);
+        let src = SgList::single(GuestAddr::new(0), 100);
+        let dst = SgList::single(GuestAddr::new(0), 40);
+        let (moved, _) = dma.transfer(&src_ram, &src, &mut dst_ram, &dst).unwrap();
+        assert_eq!(moved, 40);
+    }
+
+    #[test]
+    fn bytes_per_sec_conversion() {
+        let dma = DmaModel::new(50.0, SimDuration::ZERO);
+        assert_eq!(dma.bytes_per_sec(), 6.25e9);
+        assert_eq!(dma.bandwidth_gbps(), 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        DmaModel::new(0.0, SimDuration::ZERO);
+    }
+}

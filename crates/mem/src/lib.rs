@@ -1,0 +1,38 @@
+//! Guest physical memory, scatter–gather lists, and DMA modelling.
+//!
+//! In BM-Hive the compute board and the base server have *separate*
+//! physical memories (§3.4.1): the guest's virtqueues live in compute
+//! board RAM, the bm-hypervisor's shadow vrings live in base RAM, and
+//! IO-Bond's DMA engine shuttles bytes between the two. This crate
+//! provides:
+//!
+//! * [`GuestRam`] — a sparse, page-backed byte-addressable memory with
+//!   bounds checking, used both for compute-board RAM and for base RAM.
+//! * [`GuestAddr`] — a newtype for guest-physical addresses so they can
+//!   never be confused with lengths or host addresses.
+//! * [`SgList`] — scatter–gather segment lists, the form in which virtio
+//!   descriptors describe buffers.
+//! * [`DmaModel`] — the timing model of a DMA engine (setup latency plus
+//!   bandwidth), matching the paper's 50 Gbit/s IO-Bond internal engine.
+//!
+//! # Example
+//!
+//! ```
+//! use bmhive_mem::{GuestAddr, GuestRam};
+//!
+//! let mut ram = GuestRam::new(64 << 20); // 64 MiB compute-board RAM
+//! ram.write(GuestAddr::new(0x1000), b"bm-hive").unwrap();
+//! let mut buf = [0u8; 7];
+//! ram.read(GuestAddr::new(0x1000), &mut buf).unwrap();
+//! assert_eq!(&buf, b"bm-hive");
+//! ```
+
+pub mod addr;
+pub mod dma;
+pub mod ram;
+pub mod sg;
+
+pub use addr::GuestAddr;
+pub use dma::DmaModel;
+pub use ram::{GuestRam, MemError};
+pub use sg::{SgList, SgSegment};

@@ -1,0 +1,304 @@
+//! Sparse guest physical memory.
+
+use crate::addr::GuestAddr;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+const PAGE_SHIFT: u64 = 12;
+const PAGE_SIZE: u64 = 1 << PAGE_SHIFT; // 4 KiB
+
+/// Errors returned by [`GuestRam`] accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// The access `[addr, addr + len)` falls outside the configured RAM
+    /// size.
+    OutOfBounds {
+        /// Starting address of the failed access.
+        addr: GuestAddr,
+        /// Length of the failed access in bytes.
+        len: u64,
+        /// Configured memory size in bytes.
+        size: u64,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfBounds { addr, len, size } => write!(
+                f,
+                "guest memory access out of bounds: {addr}+{len} exceeds {size} bytes"
+            ),
+        }
+    }
+}
+
+impl Error for MemError {}
+
+/// A byte-addressable guest physical memory.
+///
+/// Pages are allocated lazily, so a 64 GiB compute board costs only what
+/// the guest actually touches. Unwritten memory reads as zero, matching
+/// freshly-powered-on DRAM handed to a bm-guest after the previous
+/// tenant's board is scrubbed.
+///
+/// # Example
+///
+/// ```
+/// use bmhive_mem::{GuestAddr, GuestRam};
+///
+/// let mut ram = GuestRam::new(1 << 30);
+/// ram.write_u32(GuestAddr::new(16), 0xdead_beef).unwrap();
+/// assert_eq!(ram.read_u32(GuestAddr::new(16)).unwrap(), 0xdead_beef);
+/// assert_eq!(ram.read_u32(GuestAddr::new(64)).unwrap(), 0); // untouched
+/// ```
+#[derive(Debug, Clone)]
+pub struct GuestRam {
+    size: u64,
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+}
+
+impl GuestRam {
+    /// Creates a memory of `size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: u64) -> Self {
+        assert!(size > 0, "GuestRam: size must be positive");
+        GuestRam {
+            size,
+            pages: HashMap::new(),
+        }
+    }
+
+    /// The configured size in bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Number of 4 KiB pages actually allocated so far.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn check(&self, addr: GuestAddr, len: u64) -> Result<(), MemError> {
+        let end = addr.value().checked_add(len);
+        match end {
+            Some(end) if end <= self.size => Ok(()),
+            _ => Err(MemError::OutOfBounds {
+                addr,
+                len,
+                size: self.size,
+            }),
+        }
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if the range exceeds the memory
+    /// size; no bytes are read in that case.
+    pub fn read(&self, addr: GuestAddr, buf: &mut [u8]) -> Result<(), MemError> {
+        self.check(addr, buf.len() as u64)?;
+        let mut offset = addr.value();
+        let mut filled = 0usize;
+        while filled < buf.len() {
+            let page = offset >> PAGE_SHIFT;
+            let in_page = (offset & (PAGE_SIZE - 1)) as usize;
+            let take = (buf.len() - filled).min(PAGE_SIZE as usize - in_page);
+            match self.pages.get(&page) {
+                Some(data) => {
+                    buf[filled..filled + take].copy_from_slice(&data[in_page..in_page + take])
+                }
+                None => buf[filled..filled + take].fill(0),
+            }
+            filled += take;
+            offset += take as u64;
+        }
+        Ok(())
+    }
+
+    /// Writes `data` starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if the range exceeds the memory
+    /// size; no bytes are written in that case.
+    pub fn write(&mut self, addr: GuestAddr, data: &[u8]) -> Result<(), MemError> {
+        self.check(addr, data.len() as u64)?;
+        let mut offset = addr.value();
+        let mut written = 0usize;
+        while written < data.len() {
+            let page = offset >> PAGE_SHIFT;
+            let in_page = (offset & (PAGE_SIZE - 1)) as usize;
+            let take = (data.len() - written).min(PAGE_SIZE as usize - in_page);
+            let page_data = self
+                .pages
+                .entry(page)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]));
+            page_data[in_page..in_page + take].copy_from_slice(&data[written..written + take]);
+            written += take;
+            offset += take as u64;
+        }
+        Ok(())
+    }
+
+    /// Reads a vector of `len` bytes starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if the range exceeds the memory
+    /// size.
+    pub fn read_vec(&self, addr: GuestAddr, len: u64) -> Result<Vec<u8>, MemError> {
+        let mut buf = vec![0u8; len as usize];
+        self.read(addr, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Fills `[addr, addr + len)` with `byte`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if the range exceeds the memory
+    /// size.
+    pub fn fill(&mut self, addr: GuestAddr, len: u64, byte: u8) -> Result<(), MemError> {
+        self.check(addr, len)?;
+        // Writing through the page map keeps the sparse representation.
+        let chunk = [byte; 256];
+        let mut remaining = len;
+        let mut at = addr;
+        while remaining > 0 {
+            let take = remaining.min(chunk.len() as u64);
+            self.write(at, &chunk[..take as usize])?;
+            at = at + take;
+            remaining -= take;
+        }
+        Ok(())
+    }
+}
+
+macro_rules! int_access {
+    ($read:ident, $write:ident, $ty:ty) => {
+        impl GuestRam {
+            /// Reads a little-endian integer at `addr`.
+            ///
+            /// # Errors
+            ///
+            /// Returns [`MemError::OutOfBounds`] if the access exceeds the
+            /// memory size.
+            pub fn $read(&self, addr: GuestAddr) -> Result<$ty, MemError> {
+                let mut buf = [0u8; std::mem::size_of::<$ty>()];
+                self.read(addr, &mut buf)?;
+                Ok(<$ty>::from_le_bytes(buf))
+            }
+
+            /// Writes a little-endian integer at `addr`.
+            ///
+            /// # Errors
+            ///
+            /// Returns [`MemError::OutOfBounds`] if the access exceeds the
+            /// memory size.
+            pub fn $write(&mut self, addr: GuestAddr, value: $ty) -> Result<(), MemError> {
+                self.write(addr, &value.to_le_bytes())
+            }
+        }
+    };
+}
+
+int_access!(read_u8, write_u8, u8);
+int_access!(read_u16, write_u16, u16);
+int_access!(read_u32, write_u32, u32);
+int_access!(read_u64, write_u64, u64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let ram = GuestRam::new(1 << 20);
+        let mut buf = [0xffu8; 16];
+        ram.read(GuestAddr::new(0x500), &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 16]);
+        assert_eq!(ram.resident_pages(), 0);
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut ram = GuestRam::new(1 << 20);
+        ram.write(GuestAddr::new(100), b"hello world").unwrap();
+        assert_eq!(
+            ram.read_vec(GuestAddr::new(100), 11).unwrap(),
+            b"hello world"
+        );
+    }
+
+    #[test]
+    fn accesses_spanning_page_boundaries() {
+        let mut ram = GuestRam::new(1 << 20);
+        let addr = GuestAddr::new(PAGE_SIZE - 3);
+        let data: Vec<u8> = (0..10).collect();
+        ram.write(addr, &data).unwrap();
+        assert_eq!(ram.read_vec(addr, 10).unwrap(), data);
+        assert_eq!(ram.resident_pages(), 2);
+    }
+
+    #[test]
+    fn integer_accessors_are_little_endian() {
+        let mut ram = GuestRam::new(1 << 16);
+        ram.write_u32(GuestAddr::new(0), 0x0102_0304).unwrap();
+        assert_eq!(ram.read_u8(GuestAddr::new(0)).unwrap(), 0x04);
+        assert_eq!(ram.read_u8(GuestAddr::new(3)).unwrap(), 0x01);
+        assert_eq!(ram.read_u16(GuestAddr::new(0)).unwrap(), 0x0304);
+        ram.write_u64(GuestAddr::new(8), u64::MAX).unwrap();
+        assert_eq!(ram.read_u64(GuestAddr::new(8)).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported_not_partial() {
+        let mut ram = GuestRam::new(64);
+        let err = ram.write(GuestAddr::new(60), &[0u8; 8]).unwrap_err();
+        assert!(matches!(err, MemError::OutOfBounds { .. }));
+        // Nothing must have been written.
+        assert_eq!(ram.read_vec(GuestAddr::new(60), 4).unwrap(), vec![0; 4]);
+        assert!(ram.read_u64(GuestAddr::new(57)).is_err());
+        assert!(ram.read_u64(GuestAddr::new(56)).is_ok());
+    }
+
+    #[test]
+    fn address_overflow_is_out_of_bounds() {
+        let ram = GuestRam::new(1 << 20);
+        let err = ram.read_vec(GuestAddr::new(u64::MAX - 4), 8).unwrap_err();
+        assert!(matches!(err, MemError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn fill_writes_every_byte() {
+        let mut ram = GuestRam::new(1 << 20);
+        ram.fill(GuestAddr::new(4000), 1000, 0xab).unwrap();
+        let data = ram.read_vec(GuestAddr::new(4000), 1000).unwrap();
+        assert!(data.iter().all(|&b| b == 0xab));
+    }
+
+    #[test]
+    fn sparse_allocation_only_touched_pages() {
+        let mut ram = GuestRam::new(64 << 30); // 64 GiB — cheap to create
+        ram.write_u8(GuestAddr::new(63 << 30), 1).unwrap();
+        assert_eq!(ram.resident_pages(), 1);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = MemError::OutOfBounds {
+            addr: GuestAddr::new(0x10),
+            len: 4,
+            size: 8,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("out of bounds"));
+        assert!(msg.contains("0x10"));
+    }
+}

@@ -1,0 +1,285 @@
+//! Scatter–gather lists.
+//!
+//! Virtio describes I/O buffers as chains of `(address, length)`
+//! descriptors (§3.4). [`SgList`] is the in-memory form of such a chain,
+//! with helpers to gather bytes out of a [`GuestRam`] and scatter bytes
+//! back in — the operation IO-Bond's DMA engine performs when it
+//! synchronises a guest vring with its shadow vring.
+
+use crate::addr::GuestAddr;
+use crate::ram::{GuestRam, MemError};
+
+/// One contiguous segment of guest memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SgSegment {
+    /// Guest-physical start address.
+    pub addr: GuestAddr,
+    /// Length in bytes.
+    pub len: u32,
+}
+
+impl SgSegment {
+    /// Creates a segment.
+    pub fn new(addr: GuestAddr, len: u32) -> Self {
+        SgSegment { addr, len }
+    }
+}
+
+/// An ordered list of scatter–gather segments.
+///
+/// # Example
+///
+/// ```
+/// use bmhive_mem::{GuestAddr, GuestRam, SgList, SgSegment};
+///
+/// let mut ram = GuestRam::new(1 << 20);
+/// ram.write(GuestAddr::new(0x100), b"bare").unwrap();
+/// ram.write(GuestAddr::new(0x900), b"metal").unwrap();
+///
+/// let sg = SgList::from_segments(vec![
+///     SgSegment::new(GuestAddr::new(0x100), 4),
+///     SgSegment::new(GuestAddr::new(0x900), 5),
+/// ]);
+/// assert_eq!(sg.gather(&ram).unwrap(), b"baremetal");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SgList {
+    segments: Vec<SgSegment>,
+}
+
+impl SgList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        SgList::default()
+    }
+
+    /// Creates a list from segments, in order.
+    pub fn from_segments(segments: Vec<SgSegment>) -> Self {
+        SgList { segments }
+    }
+
+    /// Creates a single-segment list.
+    pub fn single(addr: GuestAddr, len: u32) -> Self {
+        SgList {
+            segments: vec![SgSegment::new(addr, len)],
+        }
+    }
+
+    /// Appends a segment.
+    pub fn push(&mut self, segment: SgSegment) {
+        self.segments.push(segment);
+    }
+
+    /// The segments, in order.
+    pub fn segments(&self) -> &[SgSegment] {
+        &self.segments
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether the list has no segments.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Total byte length across all segments.
+    pub fn total_len(&self) -> u64 {
+        self.segments.iter().map(|s| u64::from(s.len)).sum()
+    }
+
+    /// Reads all segments from `ram` into one contiguous buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if any segment exceeds the
+    /// memory size.
+    pub fn gather(&self, ram: &GuestRam) -> Result<Vec<u8>, MemError> {
+        let mut out = Vec::with_capacity(self.total_len() as usize);
+        for seg in &self.segments {
+            out.extend_from_slice(&ram.read_vec(seg.addr, u64::from(seg.len))?);
+        }
+        Ok(out)
+    }
+
+    /// Writes `data` across the segments in order, returning the number
+    /// of bytes written (`min(data.len(), total_len())`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if a touched segment exceeds the
+    /// memory size; earlier segments may already have been written.
+    pub fn scatter(&self, ram: &mut GuestRam, data: &[u8]) -> Result<u64, MemError> {
+        let mut offset = 0usize;
+        for seg in &self.segments {
+            if offset >= data.len() {
+                break;
+            }
+            let take = (data.len() - offset).min(seg.len as usize);
+            ram.write(seg.addr, &data[offset..offset + take])?;
+            offset += take;
+        }
+        Ok(offset as u64)
+    }
+
+    /// Splits the list at a byte offset: returns `(head, tail)` where
+    /// `head` covers the first `mid` bytes. A segment straddling the
+    /// boundary is divided. Used to separate a virtio request header from
+    /// its payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mid > total_len()`.
+    pub fn split_at(&self, mid: u64) -> (SgList, SgList) {
+        assert!(mid <= self.total_len(), "split_at: offset beyond list");
+        let mut head = SgList::new();
+        let mut tail = SgList::new();
+        let mut remaining = mid;
+        for seg in &self.segments {
+            if remaining == 0 {
+                tail.push(*seg);
+            } else if u64::from(seg.len) <= remaining {
+                head.push(*seg);
+                remaining -= u64::from(seg.len);
+            } else {
+                head.push(SgSegment::new(seg.addr, remaining as u32));
+                tail.push(SgSegment::new(
+                    seg.addr + remaining,
+                    seg.len - remaining as u32,
+                ));
+                remaining = 0;
+            }
+        }
+        (head, tail)
+    }
+}
+
+impl FromIterator<SgSegment> for SgList {
+    fn from_iter<I: IntoIterator<Item = SgSegment>>(iter: I) -> Self {
+        SgList {
+            segments: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<SgSegment> for SgList {
+    fn extend<I: IntoIterator<Item = SgSegment>>(&mut self, iter: I) {
+        self.segments.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ram_with(pairs: &[(u64, &[u8])]) -> GuestRam {
+        let mut ram = GuestRam::new(1 << 20);
+        for (addr, data) in pairs {
+            ram.write(GuestAddr::new(*addr), data).unwrap();
+        }
+        ram
+    }
+
+    #[test]
+    fn gather_concatenates_segments() {
+        let ram = ram_with(&[(0x10, b"abc"), (0x40, b"def")]);
+        let sg = SgList::from_segments(vec![
+            SgSegment::new(GuestAddr::new(0x40), 3),
+            SgSegment::new(GuestAddr::new(0x10), 3),
+        ]);
+        assert_eq!(sg.gather(&ram).unwrap(), b"defabc");
+        assert_eq!(sg.total_len(), 6);
+        assert_eq!(sg.len(), 2);
+    }
+
+    #[test]
+    fn scatter_fills_segments_in_order() {
+        let mut ram = GuestRam::new(1 << 20);
+        let sg = SgList::from_segments(vec![
+            SgSegment::new(GuestAddr::new(0x100), 2),
+            SgSegment::new(GuestAddr::new(0x200), 4),
+        ]);
+        let written = sg.scatter(&mut ram, b"abcdef").unwrap();
+        assert_eq!(written, 6);
+        assert_eq!(ram.read_vec(GuestAddr::new(0x100), 2).unwrap(), b"ab");
+        assert_eq!(ram.read_vec(GuestAddr::new(0x200), 4).unwrap(), b"cdef");
+    }
+
+    #[test]
+    fn scatter_short_data_stops_early() {
+        let mut ram = GuestRam::new(1 << 20);
+        let sg = SgList::from_segments(vec![
+            SgSegment::new(GuestAddr::new(0x100), 4),
+            SgSegment::new(GuestAddr::new(0x200), 4),
+        ]);
+        assert_eq!(sg.scatter(&mut ram, b"xy").unwrap(), 2);
+        assert_eq!(ram.read_vec(GuestAddr::new(0x100), 4).unwrap(), b"xy\0\0");
+    }
+
+    #[test]
+    fn scatter_excess_data_truncates_to_capacity() {
+        let mut ram = GuestRam::new(1 << 20);
+        let sg = SgList::single(GuestAddr::new(0), 3);
+        assert_eq!(sg.scatter(&mut ram, b"abcdef").unwrap(), 3);
+    }
+
+    #[test]
+    fn gather_scatter_round_trip() {
+        let mut ram = GuestRam::new(1 << 20);
+        let sg = SgList::from_segments(vec![
+            SgSegment::new(GuestAddr::new(10), 5),
+            SgSegment::new(GuestAddr::new(5000), 7),
+        ]);
+        let payload: Vec<u8> = (0..12).collect();
+        sg.scatter(&mut ram, &payload).unwrap();
+        assert_eq!(sg.gather(&ram).unwrap(), payload);
+    }
+
+    #[test]
+    fn split_at_divides_a_straddling_segment() {
+        let sg = SgList::from_segments(vec![
+            SgSegment::new(GuestAddr::new(0), 10),
+            SgSegment::new(GuestAddr::new(100), 10),
+        ]);
+        let (head, tail) = sg.split_at(13);
+        assert_eq!(head.total_len(), 13);
+        assert_eq!(tail.total_len(), 7);
+        assert_eq!(tail.segments()[0].addr, GuestAddr::new(103));
+    }
+
+    #[test]
+    fn split_at_boundaries() {
+        let sg = SgList::single(GuestAddr::new(0), 8);
+        let (h, t) = sg.split_at(0);
+        assert!(h.is_empty());
+        assert_eq!(t.total_len(), 8);
+        let (h, t) = sg.split_at(8);
+        assert_eq!(h.total_len(), 8);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "offset beyond list")]
+    fn split_beyond_end_panics() {
+        SgList::single(GuestAddr::new(0), 4).split_at(5);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut sg: SgList = (0..3)
+            .map(|i| SgSegment::new(GuestAddr::new(i * 100), 10))
+            .collect();
+        sg.extend([SgSegment::new(GuestAddr::new(900), 1)]);
+        assert_eq!(sg.len(), 4);
+        assert_eq!(sg.total_len(), 31);
+    }
+
+    #[test]
+    fn gather_out_of_bounds_propagates() {
+        let ram = GuestRam::new(64);
+        let sg = SgList::single(GuestAddr::new(60), 8);
+        assert!(sg.gather(&ram).is_err());
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for guest memory and scatter–gather.
+
+use bmhive_mem::{DmaModel, GuestAddr, GuestRam, SgList, SgSegment};
+use bmhive_sim::SimDuration;
+use proptest::prelude::*;
+
+const RAM_SIZE: u64 = 1 << 20;
+
+fn segment_strategy() -> impl Strategy<Value = SgSegment> {
+    (0u64..RAM_SIZE - 4096, 1u32..2048)
+        .prop_map(|(addr, len)| SgSegment::new(GuestAddr::new(addr), len))
+}
+
+proptest! {
+    /// Anything written to RAM reads back identically, regardless of
+    /// offset and length (including page-straddling accesses).
+    #[test]
+    fn ram_write_read_round_trip(
+        addr in 0u64..RAM_SIZE - 16_384,
+        data in prop::collection::vec(any::<u8>(), 1..16_384),
+    ) {
+        let mut ram = GuestRam::new(RAM_SIZE);
+        ram.write(GuestAddr::new(addr), &data).unwrap();
+        prop_assert_eq!(ram.read_vec(GuestAddr::new(addr), data.len() as u64).unwrap(), data);
+    }
+
+    /// Non-overlapping writes do not disturb each other.
+    #[test]
+    fn ram_disjoint_writes_are_independent(
+        a in prop::collection::vec(any::<u8>(), 1..512),
+        b in prop::collection::vec(any::<u8>(), 1..512),
+    ) {
+        let mut ram = GuestRam::new(RAM_SIZE);
+        let addr_a = GuestAddr::new(0x1000);
+        let addr_b = GuestAddr::new(0x1000 + 512);
+        ram.write(addr_a, &a).unwrap();
+        ram.write(addr_b, &b).unwrap();
+        prop_assert_eq!(ram.read_vec(addr_a, a.len() as u64).unwrap(), a);
+        prop_assert_eq!(ram.read_vec(addr_b, b.len() as u64).unwrap(), b);
+    }
+
+    /// scatter() then gather() over the same list returns the original
+    /// prefix of the data: bytes in == bytes out (the shadow-vring DMA
+    /// invariant).
+    #[test]
+    fn sg_scatter_gather_round_trip(
+        segs in prop::collection::vec(segment_strategy(), 1..8),
+        data in prop::collection::vec(any::<u8>(), 1..4096),
+    ) {
+        // Make segments disjoint by spreading them out deterministically.
+        let segs: Vec<SgSegment> = segs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| SgSegment::new(GuestAddr::new((i as u64) * 8192), s.len.min(4096)))
+            .collect();
+        let sg = SgList::from_segments(segs);
+        let mut ram = GuestRam::new(RAM_SIZE);
+        let written = sg.scatter(&mut ram, &data).unwrap();
+        let expected = &data[..written as usize];
+        let gathered = sg.gather(&ram).unwrap();
+        prop_assert_eq!(&gathered[..written as usize], expected);
+        prop_assert_eq!(written, (data.len() as u64).min(sg.total_len()));
+    }
+
+    /// split_at conserves both total length and segment contents.
+    #[test]
+    fn sg_split_conserves_bytes(
+        lens in prop::collection::vec(1u32..512, 1..8),
+        frac in 0.0f64..1.0,
+    ) {
+        let segs: Vec<SgSegment> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| SgSegment::new(GuestAddr::new((i as u64) * 4096), len))
+            .collect();
+        let sg = SgList::from_segments(segs);
+        let mid = (sg.total_len() as f64 * frac) as u64;
+        let (head, tail) = sg.split_at(mid);
+        prop_assert_eq!(head.total_len(), mid);
+        prop_assert_eq!(head.total_len() + tail.total_len(), sg.total_len());
+
+        // Gathering head+tail equals gathering the original.
+        let mut ram = GuestRam::new(RAM_SIZE);
+        let data: Vec<u8> = (0..sg.total_len()).map(|i| (i % 251) as u8).collect();
+        sg.scatter(&mut ram, &data).unwrap();
+        let mut joined = head.gather(&ram).unwrap();
+        joined.extend(tail.gather(&ram).unwrap());
+        prop_assert_eq!(joined, data);
+    }
+
+    /// DMA transfer time is monotone in size and linear up to setup cost.
+    #[test]
+    fn dma_time_monotone(
+        bw in 1.0f64..200.0,
+        setup_ns in 0u64..10_000,
+        small in 0u64..1_000_000,
+        delta in 0u64..1_000_000,
+    ) {
+        let dma = DmaModel::new(bw, SimDuration::from_nanos(setup_ns));
+        let t_small = dma.transfer_time(small);
+        let t_large = dma.transfer_time(small + delta);
+        prop_assert!(t_large >= t_small);
+        // Linearity: t(a+b) - setup == (t(a) - setup) + (t(b) - setup), within rounding.
+        let t_delta = dma.transfer_time(delta);
+        let lhs = t_large.as_nanos() as i128;
+        let rhs = t_small.as_nanos() as i128 + t_delta.as_nanos() as i128 - setup_ns as i128;
+        prop_assert!((lhs - rhs).abs() <= 2, "lhs {lhs} rhs {rhs}");
+    }
+
+    /// DMA between domains preserves content for any payload.
+    #[test]
+    fn dma_transfer_preserves_content(data in prop::collection::vec(any::<u8>(), 1..8192)) {
+        let dma = DmaModel::new(50.0, SimDuration::from_nanos(200));
+        let mut src = GuestRam::new(RAM_SIZE);
+        let mut dst = GuestRam::new(RAM_SIZE);
+        src.write(GuestAddr::new(0x4000), &data).unwrap();
+        let src_sg = SgList::single(GuestAddr::new(0x4000), data.len() as u32);
+        let dst_sg = SgList::single(GuestAddr::new(0x9000), data.len() as u32);
+        let (moved, _) = dma.transfer(&src, &src_sg, &mut dst, &dst_sg).unwrap();
+        prop_assert_eq!(moved, data.len() as u64);
+        prop_assert_eq!(dst.read_vec(GuestAddr::new(0x9000), moved).unwrap(), data);
+    }
+}

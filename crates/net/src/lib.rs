@@ -1,0 +1,26 @@
+//! Packet-level network substrate.
+//!
+//! The §4.3 network experiments vary three things: the *protocol stack*
+//! (default kernel stack vs. DPDK bypass), the *guest-to-backend path*
+//! (shared-memory vhost for vm-guests vs. three PCIe traversals through
+//! IO-Bond for bm-guests), and the *physical fabric* (same-server vs.
+//! the 100 Gbit/s inter-server network). This crate provides the first
+//! and third:
+//!
+//! * [`packet`] — frames, addresses, and protocol kinds.
+//! * [`link`] — serialization + propagation timing of physical links
+//!   (the server's shared 100 Gbit/s NIC among them).
+//! * [`stack`] — per-operation CPU cost of the guest's protocol stack:
+//!   kernel socket path, DPDK poll-mode bypass, and ICMP.
+//!
+//! The guest-to-backend path costs live with IO-Bond and the
+//! hypervisors; `bmhive-workloads` composes all three into the Fig. 9/10
+//! experiments.
+
+pub mod link;
+pub mod packet;
+pub mod stack;
+
+pub use link::NetLink;
+pub use packet::{MacAddr, Packet, PacketKind};
+pub use stack::{ProtocolStack, StackKind};

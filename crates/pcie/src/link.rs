@@ -1,0 +1,196 @@
+//! PCIe link timing model.
+//!
+//! §3.4.3 gives the numbers this model reproduces:
+//!
+//! * "a PCI read/write from bm-guest to IO-Bond front-end takes 0.8 µs,
+//!   and another 0.8 µs from IO-Bond to its mailbox registers. So a
+//!   typical PCI access emulating from bm-hypervisor takes 1.6 µs
+//!   constantly" — the FPGA register-access latency.
+//! * "IO-Bond exposes a PCIe x4 interface each for the virtio network and
+//!   storage devices. They are backed up by a PCIe x8 interface to the
+//!   bm-hypervisor" — each x4 link sustains 32 Gbit/s.
+//! * §6 projects an ASIC implementation cutting the register access from
+//!   0.8 µs to 0.2 µs.
+
+use bmhive_sim::SimDuration;
+
+/// PCIe generation, which fixes the per-lane data rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkGen {
+    /// 5 GT/s, 8b/10b encoding → 4 Gbit/s effective per lane.
+    Gen2,
+    /// 8 GT/s, 128b/130b encoding → ~7.88 Gbit/s effective per lane.
+    Gen3,
+}
+
+impl LinkGen {
+    /// Effective (post-encoding) per-lane bandwidth in Gbit/s.
+    pub fn lane_gbps(self) -> f64 {
+        match self {
+            LinkGen::Gen2 => 4.0,
+            LinkGen::Gen3 => 8.0 * (128.0 / 130.0),
+        }
+    }
+}
+
+/// A point-to-point PCIe link with a register-access latency and a
+/// payload bandwidth.
+///
+/// # Example
+///
+/// ```
+/// use bmhive_pcie::{LinkGen, PcieLink};
+/// use bmhive_sim::SimDuration;
+///
+/// // The compute-board x4 link to IO-Bond, FPGA era.
+/// let link = PcieLink::new(LinkGen::Gen3, 4, SimDuration::from_nanos(800));
+/// assert!((link.bandwidth_gbps() - 31.5).abs() < 0.1); // ≈ the paper's 32 Gbit/s
+/// assert_eq!(link.register_access(), SimDuration::from_nanos(800));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PcieLink {
+    gen: LinkGen,
+    lanes: u8,
+    register_latency: SimDuration,
+}
+
+/// Maximum TLP payload we model, in bytes. Payloads larger than this are
+/// split into multiple TLPs, each paying header overhead.
+const MAX_TLP_PAYLOAD: u64 = 256;
+/// TLP + DLLP + framing overhead per packet, in bytes.
+const TLP_OVERHEAD: u64 = 26;
+
+impl PcieLink {
+    /// Creates a link of the given generation and lane count, with a
+    /// fixed register (non-posted read / small posted write) latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is not 1, 2, 4, 8 or 16.
+    pub fn new(gen: LinkGen, lanes: u8, register_latency: SimDuration) -> Self {
+        assert!(
+            matches!(lanes, 1 | 2 | 4 | 8 | 16),
+            "PcieLink: invalid lane count {lanes}"
+        );
+        PcieLink {
+            gen,
+            lanes,
+            register_latency,
+        }
+    }
+
+    /// The compute-board-facing x4 link of the FPGA IO-Bond (0.8 µs
+    /// register access, §3.4.3).
+    pub fn iobond_fpga_x4() -> Self {
+        PcieLink::new(LinkGen::Gen3, 4, SimDuration::from_nanos(800))
+    }
+
+    /// The base-facing x8 link of the FPGA IO-Bond.
+    pub fn iobond_fpga_x8() -> Self {
+        PcieLink::new(LinkGen::Gen3, 8, SimDuration::from_nanos(800))
+    }
+
+    /// The projected ASIC IO-Bond x4 link (0.2 µs register access, §6).
+    pub fn iobond_asic_x4() -> Self {
+        PcieLink::new(LinkGen::Gen3, 4, SimDuration::from_nanos(200))
+    }
+
+    /// Effective link bandwidth in Gbit/s.
+    pub fn bandwidth_gbps(&self) -> f64 {
+        self.gen.lane_gbps() * f64::from(self.lanes)
+    }
+
+    /// Lane count.
+    pub fn lanes(&self) -> u8 {
+        self.lanes
+    }
+
+    /// The generation of this link.
+    pub fn gen(&self) -> LinkGen {
+        self.gen
+    }
+
+    /// Latency of a single register read or write across this link.
+    pub fn register_access(&self) -> SimDuration {
+        self.register_latency
+    }
+
+    /// Time to move `bytes` of bulk payload across the link, including
+    /// TLP packetisation overhead. Zero-byte transfers cost nothing.
+    pub fn payload_time(&self, bytes: u64) -> SimDuration {
+        if bytes == 0 {
+            return SimDuration::ZERO;
+        }
+        let tlps = bytes.div_ceil(MAX_TLP_PAYLOAD);
+        let wire_bytes = bytes + tlps * TLP_OVERHEAD;
+        let secs = (wire_bytes as f64 * 8.0) / (self.bandwidth_gbps() * 1e9);
+        SimDuration::from_secs_f64(secs)
+    }
+
+    /// Sustainable packet rate for `payload` byte messages, in
+    /// packets/second — the hardware ceiling behind the unrestricted
+    /// 16 M PPS measurement of §4.3.
+    pub fn packets_per_sec(&self, payload: u64) -> f64 {
+        let per_packet = self.payload_time(payload.max(1));
+        1.0 / per_packet.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x4_link_matches_paper_bandwidth() {
+        let link = PcieLink::iobond_fpga_x4();
+        // The paper rounds to 32 Gbit/s.
+        assert!((link.bandwidth_gbps() - 32.0).abs() < 0.6);
+        assert_eq!(link.lanes(), 4);
+    }
+
+    #[test]
+    fn x8_doubles_x4() {
+        let x4 = PcieLink::iobond_fpga_x4();
+        let x8 = PcieLink::iobond_fpga_x8();
+        assert!((x8.bandwidth_gbps() - 2.0 * x4.bandwidth_gbps()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn asic_profile_cuts_register_latency_75_percent() {
+        let fpga = PcieLink::iobond_fpga_x4();
+        let asic = PcieLink::iobond_asic_x4();
+        let ratio =
+            asic.register_access().as_nanos() as f64 / fpga.register_access().as_nanos() as f64;
+        assert!((ratio - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn payload_time_includes_tlp_overhead() {
+        let link = PcieLink::new(LinkGen::Gen3, 4, SimDuration::ZERO);
+        let one = link.payload_time(256);
+        let two = link.payload_time(512);
+        // Two TLPs pay twice the overhead: double, within rounding.
+        let diff = two.as_nanos() as i64 - 2 * one.as_nanos() as i64;
+        assert!(diff.abs() <= 1, "diff {diff}ns");
+        assert_eq!(link.payload_time(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn small_packet_rate_is_overhead_bound() {
+        let link = PcieLink::new(LinkGen::Gen3, 4, SimDuration::ZERO);
+        // 64-byte packets: 90 wire bytes at ~31.5 Gbit/s ≈ 43.7 M/s.
+        let pps = link.packets_per_sec(64);
+        assert!(pps > 30e6 && pps < 60e6, "pps {pps}");
+    }
+
+    #[test]
+    fn gen2_is_slower_than_gen3() {
+        assert!(LinkGen::Gen2.lane_gbps() < LinkGen::Gen3.lane_gbps());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid lane count")]
+    fn bad_lane_count_panics() {
+        PcieLink::new(LinkGen::Gen3, 3, SimDuration::ZERO);
+    }
+}

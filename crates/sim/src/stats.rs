@@ -1,0 +1,493 @@
+//! Statistics used by the benchmark harness.
+//!
+//! The paper reports means, tail percentiles (99th / 99.9th) and series
+//! (requests-per-second versus client count, etc.). [`Histogram`] gives
+//! memory-bounded percentile queries over latency samples, [`Summary`]
+//! tracks running moments, and [`Series`] records (x, y) points for the
+//! figure reproductions.
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A log-bucketed histogram of non-negative values.
+///
+/// Buckets grow geometrically (by ~4.6 % per bucket, 16 buckets per
+/// octave), bounding relative quantile error below ~5 % while using a few
+/// kilobytes regardless of sample count — the same trade-off HdrHistogram
+/// makes for latency measurement.
+///
+/// # Example
+///
+/// ```
+/// use bmhive_sim::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v as f64);
+/// }
+/// let p50 = h.percentile(50.0);
+/// assert!((450.0..=550.0).contains(&p50));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+const BUCKETS_PER_OCTAVE: f64 = 16.0;
+const NUM_BUCKETS: usize = 2048;
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; NUM_BUCKETS],
+            total: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    fn bucket_of(value: f64) -> usize {
+        if value < 1.0 {
+            return 0;
+        }
+        let idx = (value.log2() * BUCKETS_PER_OCTAVE) as usize + 1;
+        idx.min(NUM_BUCKETS - 1)
+    }
+
+    fn bucket_midpoint(index: usize) -> f64 {
+        if index == 0 {
+            return 0.5;
+        }
+        let lo = 2f64.powf((index as f64 - 1.0) / BUCKETS_PER_OCTAVE);
+        let hi = 2f64.powf(index as f64 / BUCKETS_PER_OCTAVE);
+        (lo + hi) / 2.0
+    }
+
+    /// Records a value. Negative and non-finite values are rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative or not finite; latencies and counts
+    /// are never either, so this indicates a caller bug.
+    pub fn record(&mut self, value: f64) {
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "record: invalid value {value}"
+        );
+        self.counts[Self::bucket_of(value)] += 1;
+        self.total += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Records a duration in microseconds (the unit the paper reports
+    /// latencies in).
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_micros_f64());
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Mean of recorded samples, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Smallest recorded sample, or 0 if empty.
+    pub fn min(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample, or 0 if empty.
+    pub fn max(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// The value at the given percentile (0–100), or 0 if empty.
+    ///
+    /// Returns the midpoint of the bucket containing the requested rank,
+    /// clamped to the observed min/max so tiny sample counts do not
+    /// over-report bucket width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile: p out of range");
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = ((p / 100.0) * self.total as f64 - 1e-9).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_midpoint(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Running count / mean / variance / extrema (Welford's algorithm).
+///
+/// # Example
+///
+/// ```
+/// use bmhive_sim::Summary;
+///
+/// let mut s = Summary::new();
+/// for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.record(v);
+/// }
+/// assert_eq!(s.mean(), 5.0);
+/// assert_eq!(s.std_dev(), 2.0); // population standard deviation
+/// ```
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records a sample.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of samples, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance of samples, or 0 if fewer than two.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Coefficient of variation (std-dev / mean), or 0 if the mean is 0.
+    /// The paper uses throughput stability ("less jitter") comparisons;
+    /// this is the metric we report for them.
+    pub fn cv(&self) -> f64 {
+        if self.mean() == 0.0 {
+            0.0
+        } else {
+            self.std_dev() / self.mean()
+        }
+    }
+
+    /// Smallest sample, or 0 if empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 if empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+/// Exact percentile over a slice of samples (sorts a copy).
+///
+/// Used when the sample population is small enough to keep (e.g. 20 000
+/// per-VM preemption rates in Fig. 1) and exact order statistics matter.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or `p` is outside `[0, 100]`.
+pub fn exact_percentile(samples: &[f64], p: f64) -> f64 {
+    assert!(!samples.is_empty(), "exact_percentile: empty sample set");
+    assert!(
+        (0.0..=100.0).contains(&p),
+        "exact_percentile: p out of range"
+    );
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    let rank = ((p / 100.0) * sorted.len() as f64 - 1e-9).ceil().max(1.0) as usize - 1;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// A labelled (x, y) series for reproducing one curve of a figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Series {
+    label: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series with a label (e.g. `"bm-guest"`).
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// The series label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The recorded points, in insertion order.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// The y values only.
+    pub fn ys(&self) -> impl Iterator<Item = f64> + '_ {
+        self.points.iter().map(|&(_, y)| y)
+    }
+
+    /// Mean of the y values, or 0 if empty.
+    pub fn mean_y(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.ys().sum::<f64>() / self.points.len() as f64
+    }
+}
+
+impl Series {
+    /// Renders the series as CSV (`x,y` per line) with a header naming
+    /// the y column after the series label — the format the plotting
+    /// scripts downstream of `repro --out` consume.
+    pub fn to_csv(&self) -> String {
+        let mut out = format!("x,{}\n", self.label);
+        for (x, y) in &self.points {
+            out.push_str(&format!("{x},{y}\n"));
+        }
+        out
+    }
+}
+
+/// Ratio of two series' mean y values (`a / b`), used for "X % faster"
+/// statements. Returns 0 if `b`'s mean is 0.
+pub fn mean_ratio(a: &Series, b: &Series) -> f64 {
+    let denom = b.mean_y();
+    if denom == 0.0 {
+        0.0
+    } else {
+        a.mean_y() / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_are_close_to_exact() {
+        let mut h = Histogram::new();
+        let samples: Vec<f64> = (1..=100_000).map(|i| i as f64).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        for p in [50.0, 90.0, 99.0, 99.9] {
+            let exact = exact_percentile(&samples, p);
+            let approx = h.percentile(p);
+            let rel_err = (approx - exact).abs() / exact;
+            assert!(rel_err < 0.05, "p{p}: approx {approx} vs exact {exact}");
+        }
+    }
+
+    #[test]
+    fn histogram_tracks_mean_min_max() {
+        let mut h = Histogram::new();
+        for v in [1.0, 2.0, 3.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert!((h.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 3.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeroes() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(99.0), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn histogram_merge_combines_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10.0);
+        b.record(1_000.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 10.0);
+        assert_eq!(a.max(), 1_000.0);
+    }
+
+    #[test]
+    fn histogram_record_duration_uses_micros() {
+        let mut h = Histogram::new();
+        h.record_duration(SimDuration::from_micros(25));
+        assert!((h.mean() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid value")]
+    fn histogram_rejects_negative() {
+        Histogram::new().record(-1.0);
+    }
+
+    #[test]
+    fn summary_welford_matches_textbook() {
+        let mut s = Summary::new();
+        let vals = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        for v in vals {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 8);
+        assert_eq!(s.mean(), 5.0);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn summary_cv_handles_degenerate_cases() {
+        let mut s = Summary::new();
+        assert_eq!(s.cv(), 0.0);
+        s.record(0.0);
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn exact_percentile_order_statistics() {
+        let samples: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        assert_eq!(exact_percentile(&samples, 99.0), 990.0);
+        assert_eq!(exact_percentile(&samples, 99.9), 999.0);
+        assert_eq!(exact_percentile(&samples, 100.0), 1000.0);
+        assert_eq!(exact_percentile(&samples, 0.0), 1.0);
+    }
+
+    #[test]
+    fn series_accumulates_points() {
+        let mut s = Series::new("bm-guest");
+        s.push(1.0, 10.0);
+        s.push(2.0, 20.0);
+        assert_eq!(s.label(), "bm-guest");
+        assert_eq!(s.points(), &[(1.0, 10.0), (2.0, 20.0)]);
+        assert_eq!(s.mean_y(), 15.0);
+    }
+
+    #[test]
+    fn series_to_csv_renders_header_and_rows() {
+        let mut s = Series::new("bm-guest");
+        s.push(1.0, 2.5);
+        s.push(2.0, 3.5);
+        assert_eq!(s.to_csv(), "x,bm-guest\n1,2.5\n2,3.5\n");
+    }
+
+    #[test]
+    fn mean_ratio_of_series() {
+        let mut a = Series::new("a");
+        let mut b = Series::new("b");
+        a.push(0.0, 30.0);
+        b.push(0.0, 20.0);
+        assert!((mean_ratio(&a, &b) - 1.5).abs() < 1e-12);
+        let empty = Series::new("e");
+        assert_eq!(mean_ratio(&a, &empty), 0.0);
+    }
+}

@@ -1,0 +1,579 @@
+//! The packed virtqueue (virtio 1.1 §2.7).
+//!
+//! The split ring of [`crate::queue`] is what BM-Hive deploys, but a
+//! production virtio stack also carries the packed layout: a single
+//! descriptor ring where availability is signalled by a pair of
+//! AVAIL/USED flag bits matched against per-side *wrap counters*,
+//! halving the cache lines touched per operation. IO-Bond's design note
+//! that other device types "can be easily extended" (§3.3) applies to
+//! ring formats too — the shadow-vring idea is format-agnostic, so this
+//! module implements the full driver and device sides with chain
+//! support, out-of-order completion, and wrap-around.
+//!
+//! Layout of one descriptor (16 bytes): addr u64, len u32, id u16,
+//! flags u16. Flags: NEXT(1), WRITE(2), AVAIL(1<<7), USED(1<<15).
+
+use crate::queue::VirtioError;
+use bmhive_mem::{GuestAddr, GuestRam, SgList, SgSegment};
+use std::collections::HashMap;
+
+/// Descriptor flag: chain continues in the next slot.
+pub const PACKED_F_NEXT: u16 = 1;
+/// Descriptor flag: device-writable buffer.
+pub const PACKED_F_WRITE: u16 = 2;
+/// Availability bit.
+pub const PACKED_F_AVAIL: u16 = 1 << 7;
+/// Used bit.
+pub const PACKED_F_USED: u16 = 1 << 15;
+
+const DESC_BYTES: u64 = 16;
+
+/// Where a packed ring lives. Unlike the split ring, the size need not
+/// be a power of two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackedLayout {
+    /// Ring size in descriptors (1..=32768).
+    pub size: u16,
+    /// Descriptor ring base.
+    pub desc: GuestAddr,
+}
+
+impl PackedLayout {
+    /// Lays the ring out at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero or exceeds 32768, or `base` is not
+    /// 16-byte aligned.
+    pub fn new(base: GuestAddr, size: u16) -> Self {
+        assert!(size > 0 && size <= 32768, "packed ring size out of range");
+        assert!(
+            base.is_aligned(16),
+            "packed ring base must be 16-byte aligned"
+        );
+        PackedLayout { size, desc: base }
+    }
+
+    fn slot(&self, index: u16) -> GuestAddr {
+        self.desc + u64::from(index) * DESC_BYTES
+    }
+
+    /// Ring footprint in bytes.
+    pub fn footprint(&self) -> u64 {
+        u64::from(self.size) * DESC_BYTES
+    }
+}
+
+fn write_slot(
+    ram: &mut GuestRam,
+    at: GuestAddr,
+    addr: u64,
+    len: u32,
+    id: u16,
+    flags: u16,
+) -> Result<(), VirtioError> {
+    ram.write_u64(at, addr)?;
+    ram.write_u32(at + 8, len)?;
+    ram.write_u16(at + 12, id)?;
+    ram.write_u16(at + 14, flags)?;
+    Ok(())
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    addr: u64,
+    len: u32,
+    id: u16,
+    flags: u16,
+}
+
+fn read_slot(ram: &GuestRam, at: GuestAddr) -> Result<Slot, VirtioError> {
+    Ok(Slot {
+        addr: ram.read_u64(at)?,
+        len: ram.read_u32(at + 8)?,
+        id: ram.read_u16(at + 12)?,
+        flags: ram.read_u16(at + 14)?,
+    })
+}
+
+/// Whether a descriptor with `flags` is available to a device whose
+/// wrap counter is `wrap` (§2.7.1: avail != used and avail == wrap).
+fn is_avail(flags: u16, wrap: bool) -> bool {
+    let avail = flags & PACKED_F_AVAIL != 0;
+    let used = flags & PACKED_F_USED != 0;
+    avail != used && avail == wrap
+}
+
+/// Whether a descriptor with `flags` has been used, from the driver's
+/// perspective with wrap counter `wrap` (avail == used == wrap).
+fn is_used(flags: u16, wrap: bool) -> bool {
+    let avail = flags & PACKED_F_AVAIL != 0;
+    let used = flags & PACKED_F_USED != 0;
+    avail == used && used == wrap
+}
+
+/// A chain the device popped from a packed ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedChain {
+    /// The buffer id (returned through the used descriptor).
+    pub id: u16,
+    /// Descriptors the chain occupied (the device's cursor advanced by
+    /// this much).
+    pub descriptors: u16,
+    /// Driver-readable buffers.
+    pub readable: SgList,
+    /// Device-writable buffers.
+    pub writable: SgList,
+}
+
+/// Driver side of a packed virtqueue.
+#[derive(Debug, Clone)]
+pub struct PackedDriver {
+    layout: PackedLayout,
+    next_avail: u16,
+    avail_wrap: bool,
+    next_used: u16,
+    used_wrap: bool,
+    free_ids: Vec<u16>,
+    /// id → descriptor count, to advance the used cursor on reap.
+    outstanding: HashMap<u16, u16>,
+    num_free: u16,
+}
+
+impl PackedDriver {
+    /// Initialises the ring memory (all descriptors neutral) and the
+    /// driver state (wrap counters start at 1, §2.7.1).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the ring memory is outside guest RAM.
+    pub fn new(ram: &mut GuestRam, layout: PackedLayout) -> Result<Self, VirtioError> {
+        ram.fill(layout.desc, layout.footprint(), 0)?;
+        Ok(PackedDriver {
+            layout,
+            next_avail: 0,
+            avail_wrap: true,
+            next_used: 0,
+            used_wrap: true,
+            free_ids: (0..layout.size).rev().collect(),
+            outstanding: HashMap::new(),
+            num_free: layout.size,
+        })
+    }
+
+    /// The layout.
+    pub fn layout(&self) -> &PackedLayout {
+        &self.layout
+    }
+
+    /// Free descriptor slots.
+    pub fn num_free(&self) -> u16 {
+        self.num_free
+    }
+
+    /// Posts a chain of readable-then-writable segments; returns the
+    /// buffer id.
+    ///
+    /// # Errors
+    ///
+    /// [`VirtioError::ChainTooLong`] if the ring lacks room.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty chain.
+    pub fn add_buf(
+        &mut self,
+        ram: &mut GuestRam,
+        readable: &[SgSegment],
+        writable: &[SgSegment],
+    ) -> Result<u16, VirtioError> {
+        let total = readable.len() + writable.len();
+        assert!(total > 0, "add_buf: empty chain");
+        if total > usize::from(self.num_free) {
+            return Err(VirtioError::ChainTooLong);
+        }
+        let id = self.free_ids.pop().expect("free id tracks num_free");
+        let first_pos = self.next_avail;
+        let first_wrap = self.avail_wrap;
+        for (i, seg) in readable.iter().chain(writable.iter()).enumerate() {
+            let pos = self.next_avail;
+            let wrap = self.avail_wrap;
+            let mut flags = 0u16;
+            if i >= readable.len() {
+                flags |= PACKED_F_WRITE;
+            }
+            if i + 1 < total {
+                flags |= PACKED_F_NEXT;
+            }
+            // Availability bits: avail == wrap, used == !wrap. The first
+            // descriptor is written LAST conceptually (the device must
+            // not see a partial chain); in this single-threaded
+            // simulation we emulate that by writing the first slot's
+            // flags at the end.
+            let avail_bits = Self::avail_bits(wrap);
+            let slot_flags = flags | if pos == first_pos { 0 } else { avail_bits };
+            write_slot(
+                ram,
+                self.layout.slot(pos),
+                seg.addr.value(),
+                seg.len,
+                id,
+                slot_flags,
+            )?;
+            self.advance_avail();
+        }
+        // Publish: flip the first descriptor's availability bits.
+        let first_at = self.layout.slot(first_pos);
+        let flags = ram.read_u16(first_at + 14)?;
+        ram.write_u16(first_at + 14, flags | Self::avail_bits(first_wrap))?;
+        self.num_free -= total as u16;
+        self.outstanding.insert(id, total as u16);
+        Ok(id)
+    }
+
+    fn avail_bits(wrap: bool) -> u16 {
+        if wrap {
+            PACKED_F_AVAIL // avail=1, used=0
+        } else {
+            PACKED_F_USED // avail=0, used=1
+        }
+    }
+
+    fn advance_avail(&mut self) {
+        self.next_avail += 1;
+        if self.next_avail == self.layout.size {
+            self.next_avail = 0;
+            self.avail_wrap = !self.avail_wrap;
+        }
+    }
+
+    /// Reaps one completion: `(id, bytes_written)`; `None` if nothing
+    /// pending.
+    ///
+    /// # Errors
+    ///
+    /// Fails on memory faults or if the device returned an id the
+    /// driver never posted.
+    pub fn poll_used(&mut self, ram: &GuestRam) -> Result<Option<(u16, u32)>, VirtioError> {
+        let at = self.layout.slot(self.next_used);
+        let slot = read_slot(ram, at)?;
+        if !is_used(slot.flags, self.used_wrap) {
+            return Ok(None);
+        }
+        let Some(count) = self.outstanding.remove(&slot.id) else {
+            return Err(VirtioError::BadHeadIndex(slot.id));
+        };
+        // The device consumed `count` descriptors; our used cursor skips
+        // over them.
+        for _ in 0..count {
+            self.next_used += 1;
+            if self.next_used == self.layout.size {
+                self.next_used = 0;
+                self.used_wrap = !self.used_wrap;
+            }
+        }
+        self.free_ids.push(slot.id);
+        self.num_free += count;
+        Ok(Some((slot.id, slot.len)))
+    }
+}
+
+/// Device side of a packed virtqueue.
+#[derive(Debug, Clone)]
+pub struct PackedDevice {
+    layout: PackedLayout,
+    next_avail: u16,
+    avail_wrap: bool,
+    next_used: u16,
+    used_wrap: bool,
+    popped: u64,
+}
+
+impl PackedDevice {
+    /// Creates the device view (wrap counters at 1).
+    pub fn new(layout: PackedLayout) -> Self {
+        PackedDevice {
+            layout,
+            next_avail: 0,
+            avail_wrap: true,
+            next_used: 0,
+            used_wrap: true,
+            popped: 0,
+        }
+    }
+
+    /// Pops the next available chain, if any.
+    ///
+    /// # Errors
+    ///
+    /// Fails on memory faults, over-long chains, or ordering violations
+    /// (readable after writable).
+    pub fn pop_avail(&mut self, ram: &GuestRam) -> Result<Option<PackedChain>, VirtioError> {
+        let first = read_slot(ram, self.layout.slot(self.next_avail))?;
+        if !is_avail(first.flags, self.avail_wrap) {
+            return Ok(None);
+        }
+        let mut readable = SgList::new();
+        let mut writable = SgList::new();
+        let mut count = 0u16;
+        let mut id;
+        loop {
+            if count >= self.layout.size {
+                return Err(VirtioError::ChainTooLong);
+            }
+            let slot = read_slot(ram, self.layout.slot(self.next_avail))?;
+            count += 1;
+            id = slot.id;
+            let seg = SgSegment::new(GuestAddr::new(slot.addr), slot.len);
+            if slot.flags & PACKED_F_WRITE != 0 {
+                writable.push(seg);
+            } else {
+                if !writable.is_empty() {
+                    return Err(VirtioError::ReadableAfterWritable);
+                }
+                readable.push(seg);
+            }
+            let more = slot.flags & PACKED_F_NEXT != 0;
+            self.next_avail += 1;
+            if self.next_avail == self.layout.size {
+                self.next_avail = 0;
+                self.avail_wrap = !self.avail_wrap;
+            }
+            if !more {
+                break;
+            }
+        }
+        self.popped += 1;
+        Ok(Some(PackedChain {
+            id,
+            descriptors: count,
+            readable,
+            writable,
+        }))
+    }
+
+    /// Completes a chain: writes one used descriptor at the device's
+    /// used cursor (id + written length) and skips the chain's slots.
+    ///
+    /// # Errors
+    ///
+    /// Fails on memory faults.
+    pub fn push_used(
+        &mut self,
+        ram: &mut GuestRam,
+        chain: &PackedChain,
+        written: u32,
+    ) -> Result<(), VirtioError> {
+        let used_bits = if self.used_wrap {
+            PACKED_F_AVAIL | PACKED_F_USED // avail == used == 1
+        } else {
+            0 // avail == used == 0
+        };
+        write_slot(
+            ram,
+            self.layout.slot(self.next_used),
+            0,
+            written,
+            chain.id,
+            used_bits,
+        )?;
+        for _ in 0..chain.descriptors {
+            self.next_used += 1;
+            if self.next_used == self.layout.size {
+                self.next_used = 0;
+                self.used_wrap = !self.used_wrap;
+            }
+        }
+        Ok(())
+    }
+
+    /// Chains popped so far.
+    pub fn popped_count(&self) -> u64 {
+        self.popped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(size: u16) -> (GuestRam, PackedDriver, PackedDevice) {
+        let mut ram = GuestRam::new(1 << 20);
+        let layout = PackedLayout::new(GuestAddr::new(0x1000), size);
+        let driver = PackedDriver::new(&mut ram, layout).unwrap();
+        let device = PackedDevice::new(layout);
+        (ram, driver, device)
+    }
+
+    #[test]
+    fn single_buffer_round_trip() {
+        let (mut ram, mut driver, mut device) = setup(8);
+        ram.write(GuestAddr::new(0x5000), b"packed").unwrap();
+        let id = driver
+            .add_buf(&mut ram, &[SgSegment::new(GuestAddr::new(0x5000), 6)], &[])
+            .unwrap();
+        let chain = device.pop_avail(&ram).unwrap().unwrap();
+        assert_eq!(chain.id, id);
+        assert_eq!(chain.readable.gather(&ram).unwrap(), b"packed");
+        device.push_used(&mut ram, &chain, 0).unwrap();
+        assert_eq!(driver.poll_used(&ram).unwrap(), Some((id, 0)));
+        assert_eq!(driver.num_free(), 8);
+    }
+
+    #[test]
+    fn empty_ring_pops_none() {
+        let (ram, mut driver, mut device) = setup(4);
+        assert_eq!(device.pop_avail(&ram).unwrap(), None);
+        let ram2 = ram;
+        assert_eq!(driver.poll_used(&ram2).unwrap(), None);
+    }
+
+    #[test]
+    fn chains_with_response_data() {
+        let (mut ram, mut driver, mut device) = setup(8);
+        ram.write(GuestAddr::new(0x5000), b"req").unwrap();
+        let id = driver
+            .add_buf(
+                &mut ram,
+                &[SgSegment::new(GuestAddr::new(0x5000), 3)],
+                &[SgSegment::new(GuestAddr::new(0x6000), 16)],
+            )
+            .unwrap();
+        let chain = device.pop_avail(&ram).unwrap().unwrap();
+        assert_eq!(chain.descriptors, 2);
+        assert_eq!(chain.readable.gather(&ram).unwrap(), b"req");
+        chain.writable.scatter(&mut ram, b"response!").unwrap();
+        device.push_used(&mut ram, &chain, 9).unwrap();
+        assert_eq!(driver.poll_used(&ram).unwrap(), Some((id, 9)));
+        assert_eq!(
+            ram.read_vec(GuestAddr::new(0x6000), 9).unwrap(),
+            b"response!"
+        );
+    }
+
+    #[test]
+    fn ring_wraps_with_wrap_counters() {
+        // A 3-slot ring cycled 10 times exercises both wrap flips.
+        let (mut ram, mut driver, mut device) = setup(3);
+        for round in 0..10u32 {
+            let id = driver
+                .add_buf(&mut ram, &[SgSegment::new(GuestAddr::new(0x5000), 4)], &[])
+                .unwrap();
+            let chain = device.pop_avail(&ram).unwrap().unwrap();
+            assert_eq!(chain.id, id);
+            device.push_used(&mut ram, &chain, round).unwrap();
+            assert_eq!(driver.poll_used(&ram).unwrap(), Some((id, round)));
+        }
+        assert_eq!(device.popped_count(), 10);
+    }
+
+    #[test]
+    fn chain_straddling_the_ring_end() {
+        let (mut ram, mut driver, mut device) = setup(4);
+        // Consume 3 slots so the next 2-descriptor chain wraps.
+        driver
+            .add_buf(
+                &mut ram,
+                &[
+                    SgSegment::new(GuestAddr::new(0x5000), 1),
+                    SgSegment::new(GuestAddr::new(0x5100), 1),
+                    SgSegment::new(GuestAddr::new(0x5200), 1),
+                ],
+                &[],
+            )
+            .unwrap();
+        let c1 = device.pop_avail(&ram).unwrap().unwrap();
+        device.push_used(&mut ram, &c1, 0).unwrap();
+        driver.poll_used(&ram).unwrap().unwrap();
+        // This chain occupies slots 3 and 0 (wrapping).
+        ram.write(GuestAddr::new(0x7000), b"wrap-me!").unwrap();
+        let id = driver
+            .add_buf(
+                &mut ram,
+                &[
+                    SgSegment::new(GuestAddr::new(0x7000), 4),
+                    SgSegment::new(GuestAddr::new(0x7004), 4),
+                ],
+                &[],
+            )
+            .unwrap();
+        let chain = device.pop_avail(&ram).unwrap().unwrap();
+        assert_eq!(chain.readable.gather(&ram).unwrap(), b"wrap-me!");
+        device.push_used(&mut ram, &chain, 0).unwrap();
+        assert_eq!(driver.poll_used(&ram).unwrap(), Some((id, 0)));
+    }
+
+    #[test]
+    fn out_of_order_completion_by_id() {
+        let (mut ram, mut driver, mut device) = setup(8);
+        let id1 = driver
+            .add_buf(&mut ram, &[SgSegment::new(GuestAddr::new(0x5000), 4)], &[])
+            .unwrap();
+        let id2 = driver
+            .add_buf(&mut ram, &[SgSegment::new(GuestAddr::new(0x5100), 4)], &[])
+            .unwrap();
+        let c1 = device.pop_avail(&ram).unwrap().unwrap();
+        let c2 = device.pop_avail(&ram).unwrap().unwrap();
+        // Device completes the SECOND chain first.
+        device.push_used(&mut ram, &c2, 22).unwrap();
+        device.push_used(&mut ram, &c1, 11).unwrap();
+        assert_eq!(driver.poll_used(&ram).unwrap(), Some((id2, 22)));
+        assert_eq!(driver.poll_used(&ram).unwrap(), Some((id1, 11)));
+        assert_eq!(driver.num_free(), 8);
+    }
+
+    #[test]
+    fn full_ring_rejects_further_posts() {
+        let (mut ram, mut driver, _) = setup(2);
+        driver
+            .add_buf(&mut ram, &[SgSegment::new(GuestAddr::new(0x5000), 4)], &[])
+            .unwrap();
+        driver
+            .add_buf(&mut ram, &[SgSegment::new(GuestAddr::new(0x5100), 4)], &[])
+            .unwrap();
+        assert_eq!(
+            driver.add_buf(&mut ram, &[SgSegment::new(GuestAddr::new(0x5200), 4)], &[]),
+            Err(VirtioError::ChainTooLong)
+        );
+    }
+
+    #[test]
+    fn forged_used_id_is_detected() {
+        let (mut ram, mut driver, _) = setup(4);
+        driver
+            .add_buf(&mut ram, &[SgSegment::new(GuestAddr::new(0x5000), 4)], &[])
+            .unwrap();
+        // Forge a used descriptor at slot 0 with a bogus id.
+        let layout = *driver.layout();
+        write_slot(
+            &mut ram,
+            layout.slot(0),
+            0,
+            0,
+            99,
+            PACKED_F_AVAIL | PACKED_F_USED,
+        )
+        .unwrap();
+        assert_eq!(driver.poll_used(&ram), Err(VirtioError::BadHeadIndex(99)));
+    }
+
+    #[test]
+    fn non_power_of_two_sizes_work() {
+        // Packed rings allow any size; 5 cycles the wrap quickly.
+        let (mut ram, mut driver, mut device) = setup(5);
+        for round in 0..23u32 {
+            let id = driver
+                .add_buf(&mut ram, &[SgSegment::new(GuestAddr::new(0x5000), 2)], &[])
+                .unwrap();
+            let chain = device.pop_avail(&ram).unwrap().unwrap();
+            device.push_used(&mut ram, &chain, round).unwrap();
+            assert_eq!(driver.poll_used(&ram).unwrap(), Some((id, round)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "size out of range")]
+    fn zero_size_rejected() {
+        PackedLayout::new(GuestAddr::new(0x1000), 0);
+    }
+}

@@ -1,0 +1,795 @@
+//! The split virtqueue, device side.
+//!
+//! Layout (virtio 1.1 §2.6): a descriptor table of 16-byte entries, an
+//! avail (driver) ring, and a used (device) ring. The driver publishes
+//! descriptor chain heads in the avail ring; the device walks the chains,
+//! performs I/O, and returns heads through the used ring.
+//!
+//! In BM-Hive this structure exists twice per queue: once in compute
+//! board RAM (driven by the bm-guest) and once in base RAM (the *shadow
+//! vring*, driven by the bm-hypervisor). IO-Bond keeps the two in sync
+//! (§3.4.1, Fig. 4) — see the `bmhive-iobond` crate.
+
+use bmhive_mem::{GuestAddr, GuestRam, MemError, SgList, SgSegment};
+use std::error::Error;
+use std::fmt;
+
+/// Descriptor flag: the chain continues at `next`.
+pub const DESC_F_NEXT: u16 = 1;
+/// Descriptor flag: the buffer is device-writable.
+pub const DESC_F_WRITE: u16 = 2;
+/// Descriptor flag: the descriptor points to an indirect table.
+pub const DESC_F_INDIRECT: u16 = 4;
+
+/// Used-ring flag: the device asks the driver not to kick.
+pub const USED_F_NO_NOTIFY: u16 = 1;
+/// Avail-ring flag: the driver asks the device not to interrupt.
+pub const AVAIL_F_NO_INTERRUPT: u16 = 1;
+
+const DESC_ENTRY: u64 = 16;
+
+/// The `vring_need_event` predicate of virtio 1.1 §2.6.7.2: whether
+/// moving an index from `old` to `new` crosses the other side's event
+/// threshold `event` (all in wrapping u16 arithmetic).
+///
+/// # Example
+///
+/// ```
+/// use bmhive_virtio::queue::need_event;
+///
+/// // The driver asked to be told when used idx passes 5.
+/// assert!(need_event(5, 6, 5));   // 5 -> 6 crosses
+/// assert!(!need_event(5, 5, 4));  // 4 -> 5 does not (event is "passed 5")
+/// assert!(need_event(0xffff, 0, 0xffff)); // wrap-around crossing
+/// ```
+pub fn need_event(event: u16, new: u16, old: u16) -> bool {
+    new.wrapping_sub(event).wrapping_sub(1) < new.wrapping_sub(old)
+}
+
+/// Errors arising while the device parses driver-provided rings.
+///
+/// A malicious or buggy guest controls every byte of the descriptor
+/// table, so all of these are reachable from guest input and must be
+/// handled without panicking — this is the isolation boundary of §3.1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VirtioError {
+    /// The ring or a buffer referenced memory outside guest RAM.
+    Mem(MemError),
+    /// A descriptor chain was longer than the queue size (a loop, per the
+    /// spec's defensive guidance).
+    ChainTooLong,
+    /// A `next` index referenced a descriptor beyond the table.
+    BadNextIndex(u16),
+    /// An avail entry named a head index beyond the table.
+    BadHeadIndex(u16),
+    /// A readable descriptor followed a writable one (spec violation).
+    ReadableAfterWritable,
+    /// An indirect descriptor had disallowed flags or a malformed table.
+    BadIndirect(&'static str),
+}
+
+impl fmt::Display for VirtioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VirtioError::Mem(e) => write!(f, "guest memory fault: {e}"),
+            VirtioError::ChainTooLong => write!(f, "descriptor chain exceeds queue size"),
+            VirtioError::BadNextIndex(i) => write!(f, "descriptor next index {i} out of range"),
+            VirtioError::BadHeadIndex(i) => write!(f, "avail head index {i} out of range"),
+            VirtioError::ReadableAfterWritable => {
+                write!(f, "readable descriptor after writable descriptor")
+            }
+            VirtioError::BadIndirect(why) => write!(f, "bad indirect descriptor: {why}"),
+        }
+    }
+}
+
+impl Error for VirtioError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VirtioError::Mem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MemError> for VirtioError {
+    fn from(e: MemError) -> Self {
+        VirtioError::Mem(e)
+    }
+}
+
+/// Where the three parts of a split virtqueue live in guest memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueLayout {
+    /// Number of descriptors; a power of two up to 32768.
+    pub size: u16,
+    /// Descriptor table base.
+    pub desc: GuestAddr,
+    /// Avail (driver) ring base.
+    pub avail: GuestAddr,
+    /// Used (device) ring base.
+    pub used: GuestAddr,
+}
+
+impl QueueLayout {
+    /// Lays the three rings out contiguously from `base` with the
+    /// alignments the spec requires (descriptor table 16, avail 2,
+    /// used 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not a power of two in `1..=32768` or `base`
+    /// is not 16-byte aligned.
+    pub fn contiguous(base: GuestAddr, size: u16) -> Self {
+        assert!(
+            size.is_power_of_two() && size <= 32768,
+            "queue size must be a power of two <= 32768"
+        );
+        assert!(base.is_aligned(16), "queue base must be 16-byte aligned");
+        let desc = base;
+        let avail = desc + u64::from(size) * DESC_ENTRY;
+        // Avail ring: flags + idx + ring[size] + used_event.
+        let avail_bytes = 2 + 2 + 2 * u64::from(size) + 2;
+        let used = (avail + avail_bytes).align_up(4);
+        QueueLayout {
+            size,
+            desc,
+            avail,
+            used,
+        }
+    }
+
+    /// Total bytes of guest memory the rings occupy (from `desc` to the
+    /// end of the used ring).
+    pub fn footprint(&self) -> u64 {
+        let used_bytes = 2 + 2 + 8 * u64::from(self.size) + 2;
+        (self.used + used_bytes) - self.desc
+    }
+
+    fn desc_addr(&self, index: u16) -> GuestAddr {
+        self.desc + u64::from(index) * DESC_ENTRY
+    }
+
+    fn avail_idx_addr(&self) -> GuestAddr {
+        self.avail + 2
+    }
+
+    fn avail_ring_addr(&self, slot: u16) -> GuestAddr {
+        self.avail + 4 + 2 * u64::from(slot)
+    }
+
+    fn used_flags_addr(&self) -> GuestAddr {
+        self.used
+    }
+
+    fn used_idx_addr(&self) -> GuestAddr {
+        self.used + 2
+    }
+
+    fn used_ring_addr(&self, slot: u16) -> GuestAddr {
+        self.used + 4 + 8 * u64::from(slot)
+    }
+
+    /// Address of the driver's `used_event` field (tail of the avail
+    /// ring; meaningful only with EVENT_IDX negotiated).
+    pub fn used_event_addr(&self) -> GuestAddr {
+        self.avail + 4 + 2 * u64::from(self.size)
+    }
+
+    /// Address of the device's `avail_event` field (tail of the used
+    /// ring; meaningful only with EVENT_IDX negotiated).
+    pub fn avail_event_addr(&self) -> GuestAddr {
+        self.used + 4 + 8 * u64::from(self.size)
+    }
+}
+
+/// One descriptor, as read from the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Descriptor {
+    addr: u64,
+    len: u32,
+    flags: u16,
+    next: u16,
+}
+
+fn read_descriptor(ram: &GuestRam, at: GuestAddr) -> Result<Descriptor, VirtioError> {
+    Ok(Descriptor {
+        addr: ram.read_u64(at)?,
+        len: ram.read_u32(at + 8)?,
+        flags: ram.read_u16(at + 12)?,
+        next: ram.read_u16(at + 14)?,
+    })
+}
+
+/// A popped descriptor chain: the head index to return through the used
+/// ring, plus the driver-readable and device-writable buffer lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DescChain {
+    /// Head descriptor index (the used-ring id).
+    pub head: u16,
+    /// Buffers the device may read (request data).
+    pub readable: SgList,
+    /// Buffers the device may write (response data).
+    pub writable: SgList,
+}
+
+impl DescChain {
+    /// Total bytes across both directions.
+    pub fn total_len(&self) -> u64 {
+        self.readable.total_len() + self.writable.total_len()
+    }
+}
+
+/// Device-side view of one split virtqueue.
+///
+/// Holds only the device's private cursors (`last_avail_idx`,
+/// `used_idx`); all shared state lives in guest RAM, as on hardware.
+#[derive(Debug, Clone)]
+pub struct Virtqueue {
+    layout: QueueLayout,
+    last_avail_idx: u16,
+    used_idx: u16,
+    popped: u64,
+    completed: u64,
+}
+
+impl Virtqueue {
+    /// Creates a device-side queue over `layout`.
+    pub fn new(layout: QueueLayout) -> Self {
+        Virtqueue {
+            layout,
+            last_avail_idx: 0,
+            used_idx: 0,
+            popped: 0,
+            completed: 0,
+        }
+    }
+
+    /// The queue's memory layout.
+    pub fn layout(&self) -> &QueueLayout {
+        &self.layout
+    }
+
+    /// Queue size in descriptors.
+    pub fn size(&self) -> u16 {
+        self.layout.size
+    }
+
+    /// Number of avail entries not yet popped by the device.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the avail index cannot be read from guest RAM.
+    pub fn pending(&self, ram: &GuestRam) -> Result<u16, VirtioError> {
+        let avail_idx = ram.read_u16(self.layout.avail_idx_addr())?;
+        Ok(avail_idx.wrapping_sub(self.last_avail_idx))
+    }
+
+    /// Pops the next available descriptor chain, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VirtioError`] if the driver's ring state is malformed
+    /// (out-of-range indices, loops, readable-after-writable, bad
+    /// indirect tables, memory faults). The queue's cursor still
+    /// advances past the bad entry so one malformed chain cannot wedge
+    /// the queue.
+    pub fn pop_avail(&mut self, ram: &GuestRam) -> Result<Option<DescChain>, VirtioError> {
+        if self.pending(ram)? == 0 {
+            return Ok(None);
+        }
+        let slot = self.last_avail_idx % self.layout.size;
+        let head = ram.read_u16(self.layout.avail_ring_addr(slot))?;
+        self.last_avail_idx = self.last_avail_idx.wrapping_add(1);
+        if head >= self.layout.size {
+            return Err(VirtioError::BadHeadIndex(head));
+        }
+        let chain = self.walk_chain(ram, head)?;
+        self.popped += 1;
+        Ok(Some(chain))
+    }
+
+    fn walk_chain(&self, ram: &GuestRam, head: u16) -> Result<DescChain, VirtioError> {
+        let mut readable = SgList::new();
+        let mut writable = SgList::new();
+        let mut index = head;
+        let mut hops = 0u32;
+        loop {
+            if hops >= u32::from(self.layout.size) {
+                return Err(VirtioError::ChainTooLong);
+            }
+            hops += 1;
+            let desc = read_descriptor(ram, self.layout.desc_addr(index))?;
+            if desc.flags & DESC_F_INDIRECT != 0 {
+                if desc.flags & DESC_F_NEXT != 0 {
+                    return Err(VirtioError::BadIndirect("INDIRECT combined with NEXT"));
+                }
+                if desc.len % 16 != 0 || desc.len == 0 {
+                    return Err(VirtioError::BadIndirect(
+                        "table length not a multiple of 16",
+                    ));
+                }
+                self.walk_indirect(ram, desc, &mut readable, &mut writable)?;
+                break;
+            }
+            let seg = SgSegment::new(GuestAddr::new(desc.addr), desc.len);
+            if desc.flags & DESC_F_WRITE != 0 {
+                writable.push(seg);
+            } else {
+                if !writable.is_empty() {
+                    return Err(VirtioError::ReadableAfterWritable);
+                }
+                readable.push(seg);
+            }
+            if desc.flags & DESC_F_NEXT == 0 {
+                break;
+            }
+            if desc.next >= self.layout.size {
+                return Err(VirtioError::BadNextIndex(desc.next));
+            }
+            index = desc.next;
+        }
+        Ok(DescChain {
+            head,
+            readable,
+            writable,
+        })
+    }
+
+    fn walk_indirect(
+        &self,
+        ram: &GuestRam,
+        table: Descriptor,
+        readable: &mut SgList,
+        writable: &mut SgList,
+    ) -> Result<(), VirtioError> {
+        let count = table.len / 16;
+        if count > u32::from(self.layout.size) {
+            return Err(VirtioError::BadIndirect("table larger than queue size"));
+        }
+        let base = GuestAddr::new(table.addr);
+        let mut index = 0u32;
+        let mut hops = 0u32;
+        loop {
+            if hops >= count {
+                return Err(VirtioError::BadIndirect("chain loops inside table"));
+            }
+            hops += 1;
+            let desc = read_descriptor(ram, base + u64::from(index) * DESC_ENTRY)?;
+            if desc.flags & DESC_F_INDIRECT != 0 {
+                return Err(VirtioError::BadIndirect("nested indirect descriptor"));
+            }
+            let seg = SgSegment::new(GuestAddr::new(desc.addr), desc.len);
+            if desc.flags & DESC_F_WRITE != 0 {
+                writable.push(seg);
+            } else {
+                if !writable.is_empty() {
+                    return Err(VirtioError::ReadableAfterWritable);
+                }
+                readable.push(seg);
+            }
+            if desc.flags & DESC_F_NEXT == 0 {
+                return Ok(());
+            }
+            if u32::from(desc.next) >= count {
+                return Err(VirtioError::BadIndirect("next beyond table"));
+            }
+            index = u32::from(desc.next);
+        }
+    }
+
+    /// Completes a chain: writes `(head, written)` into the used ring and
+    /// publishes the new used index.
+    ///
+    /// # Errors
+    ///
+    /// Fails on guest memory faults.
+    pub fn push_used(
+        &mut self,
+        ram: &mut GuestRam,
+        head: u16,
+        written: u32,
+    ) -> Result<(), VirtioError> {
+        let slot = self.used_idx % self.layout.size;
+        let at = self.layout.used_ring_addr(slot);
+        ram.write_u32(at, u32::from(head))?;
+        ram.write_u32(at + 4, written)?;
+        self.used_idx = self.used_idx.wrapping_add(1);
+        ram.write_u16(self.layout.used_idx_addr(), self.used_idx)?;
+        self.completed += 1;
+        Ok(())
+    }
+
+    /// Whether the driver suppressed completion interrupts
+    /// (`AVAIL_F_NO_INTERRUPT`).
+    ///
+    /// # Errors
+    ///
+    /// Fails on guest memory faults.
+    pub fn interrupts_suppressed(&self, ram: &GuestRam) -> Result<bool, VirtioError> {
+        Ok(ram.read_u16(self.layout.avail)? & AVAIL_F_NO_INTERRUPT != 0)
+    }
+
+    /// With EVENT_IDX negotiated: whether completing entries up to the
+    /// current used index (having previously published `old_used_idx`)
+    /// must interrupt the driver, per its `used_event` threshold
+    /// (virtio 1.1 §2.6.8.2).
+    ///
+    /// # Errors
+    ///
+    /// Fails on guest memory faults.
+    pub fn needs_interrupt_event_idx(
+        &self,
+        ram: &GuestRam,
+        old_used_idx: u16,
+    ) -> Result<bool, VirtioError> {
+        let used_event = ram.read_u16(self.layout.used_event_addr())?;
+        Ok(need_event(used_event, self.used_idx, old_used_idx))
+    }
+
+    /// With EVENT_IDX negotiated: publishes the device's `avail_event`,
+    /// telling the driver "kick me once the avail index passes this".
+    /// Poll-mode backends set it far ahead to suppress all kicks.
+    ///
+    /// # Errors
+    ///
+    /// Fails on guest memory faults.
+    pub fn set_avail_event(&mut self, ram: &mut GuestRam, value: u16) -> Result<(), VirtioError> {
+        ram.write_u16(self.layout.avail_event_addr(), value)?;
+        Ok(())
+    }
+
+    /// Sets or clears `USED_F_NO_NOTIFY`, telling the driver whether
+    /// kicks are needed. Poll-mode backends set this (§3.4.2: "PMD polls
+    /// the virtio devices for I/O requests instead of relying on
+    /// interrupts").
+    ///
+    /// # Errors
+    ///
+    /// Fails on guest memory faults.
+    pub fn set_no_notify(
+        &mut self,
+        ram: &mut GuestRam,
+        no_notify: bool,
+    ) -> Result<(), VirtioError> {
+        ram.write_u16(
+            self.layout.used_flags_addr(),
+            if no_notify { USED_F_NO_NOTIFY } else { 0 },
+        )?;
+        Ok(())
+    }
+
+    /// Total chains popped so far.
+    pub fn popped_count(&self) -> u64 {
+        self.popped
+    }
+
+    /// Total chains completed so far.
+    pub fn completed_count(&self) -> u64 {
+        self.completed
+    }
+
+    /// The device's current used index (for shadow-ring synchronisation).
+    pub fn used_idx(&self) -> u16 {
+        self.used_idx
+    }
+
+    /// The device's avail cursor (for shadow-ring synchronisation).
+    pub fn last_avail_idx(&self) -> u16 {
+        self.last_avail_idx
+    }
+
+    /// Restores the device's private cursors from a snapshot — the live
+    /// upgrade path (§6): a new backend process resumes consuming a ring
+    /// exactly where its predecessor stopped.
+    pub fn restore_cursors(&mut self, last_avail_idx: u16, used_idx: u16) {
+        self.last_avail_idx = last_avail_idx;
+        self.used_idx = used_idx;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::VirtqueueDriver;
+
+    fn setup(size: u16) -> (GuestRam, VirtqueueDriver, Virtqueue) {
+        let mut ram = GuestRam::new(1 << 20);
+        let layout = QueueLayout::contiguous(GuestAddr::new(0x1000), size);
+        let driver = VirtqueueDriver::new(&mut ram, layout).unwrap();
+        let device = Virtqueue::new(layout);
+        (ram, driver, device)
+    }
+
+    #[test]
+    fn layout_is_ordered_and_aligned() {
+        let l = QueueLayout::contiguous(GuestAddr::new(0x1000), 256);
+        assert!(l.desc < l.avail && l.avail < l.used);
+        assert!(l.used.is_aligned(4));
+        assert_eq!(l.avail - l.desc, 256 * 16);
+        assert!(l.footprint() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn layout_rejects_non_power_of_two() {
+        QueueLayout::contiguous(GuestAddr::new(0x1000), 3);
+    }
+
+    #[test]
+    fn empty_queue_pops_none() {
+        let (ram, _driver, mut device) = setup(8);
+        assert_eq!(device.pop_avail(&ram).unwrap(), None);
+        assert_eq!(device.pending(&ram).unwrap(), 0);
+    }
+
+    #[test]
+    fn single_readable_buffer_round_trip() {
+        let (mut ram, mut driver, mut device) = setup(8);
+        ram.write(GuestAddr::new(0x5000), b"hello").unwrap();
+        let head = driver
+            .add_buf(&mut ram, &[SgSegment::new(GuestAddr::new(0x5000), 5)], &[])
+            .unwrap();
+        assert_eq!(device.pending(&ram).unwrap(), 1);
+        let chain = device.pop_avail(&ram).unwrap().unwrap();
+        assert_eq!(chain.head, head);
+        assert_eq!(chain.readable.gather(&ram).unwrap(), b"hello");
+        assert!(chain.writable.is_empty());
+        device.push_used(&mut ram, chain.head, 0).unwrap();
+        assert_eq!(driver.poll_used(&ram).unwrap(), Some((head, 0)));
+    }
+
+    #[test]
+    fn mixed_chain_orders_readable_then_writable() {
+        let (mut ram, mut driver, mut device) = setup(8);
+        let head = driver
+            .add_buf(
+                &mut ram,
+                &[
+                    SgSegment::new(GuestAddr::new(0x5000), 16),
+                    SgSegment::new(GuestAddr::new(0x5100), 16),
+                ],
+                &[SgSegment::new(GuestAddr::new(0x6000), 64)],
+            )
+            .unwrap();
+        let chain = device.pop_avail(&ram).unwrap().unwrap();
+        assert_eq!(chain.head, head);
+        assert_eq!(chain.readable.total_len(), 32);
+        assert_eq!(chain.writable.total_len(), 64);
+        // Device writes a response into the writable part.
+        chain.writable.scatter(&mut ram, b"response").unwrap();
+        device.push_used(&mut ram, chain.head, 8).unwrap();
+        let (id, len) = driver.poll_used(&ram).unwrap().unwrap();
+        assert_eq!((id, len), (head, 8));
+        assert_eq!(
+            ram.read_vec(GuestAddr::new(0x6000), 8).unwrap(),
+            b"response"
+        );
+    }
+
+    #[test]
+    fn ring_wraps_around() {
+        let (mut ram, mut driver, mut device) = setup(4);
+        // Cycle 3× the queue size to exercise wrapping of both rings.
+        for round in 0u32..12 {
+            let head = driver
+                .add_buf(&mut ram, &[SgSegment::new(GuestAddr::new(0x5000), 4)], &[])
+                .unwrap();
+            let chain = device.pop_avail(&ram).unwrap().unwrap();
+            device.push_used(&mut ram, chain.head, round).unwrap();
+            assert_eq!(driver.poll_used(&ram).unwrap(), Some((head, round)));
+        }
+        assert_eq!(device.popped_count(), 12);
+        assert_eq!(device.completed_count(), 12);
+    }
+
+    #[test]
+    fn queue_fills_to_capacity() {
+        let (mut ram, mut driver, mut device) = setup(4);
+        for _ in 0..4 {
+            driver
+                .add_buf(&mut ram, &[SgSegment::new(GuestAddr::new(0x5000), 4)], &[])
+                .unwrap();
+        }
+        // Fifth add fails: no free descriptors.
+        assert!(driver
+            .add_buf(&mut ram, &[SgSegment::new(GuestAddr::new(0x5000), 4)], &[])
+            .is_err());
+        assert_eq!(device.pending(&ram).unwrap(), 4);
+        // Device drains and completes; driver can then add again.
+        while let Some(chain) = device.pop_avail(&ram).unwrap() {
+            device.push_used(&mut ram, chain.head, 0).unwrap();
+        }
+        while driver.poll_used(&ram).unwrap().is_some() {}
+        assert!(driver
+            .add_buf(&mut ram, &[SgSegment::new(GuestAddr::new(0x5000), 4)], &[])
+            .is_ok());
+    }
+
+    #[test]
+    fn indirect_chain_round_trip() {
+        let (mut ram, mut driver, mut device) = setup(8);
+        ram.write(GuestAddr::new(0x5000), b"abcd").unwrap();
+        let head = driver
+            .add_buf_indirect(
+                &mut ram,
+                GuestAddr::new(0x9000),
+                &[SgSegment::new(GuestAddr::new(0x5000), 4)],
+                &[SgSegment::new(GuestAddr::new(0x6000), 8)],
+            )
+            .unwrap();
+        let chain = device.pop_avail(&ram).unwrap().unwrap();
+        assert_eq!(chain.head, head);
+        assert_eq!(chain.readable.gather(&ram).unwrap(), b"abcd");
+        assert_eq!(chain.writable.total_len(), 8);
+        device.push_used(&mut ram, chain.head, 4).unwrap();
+        assert_eq!(driver.poll_used(&ram).unwrap(), Some((head, 4)));
+    }
+
+    #[test]
+    fn malicious_head_index_is_an_error_not_a_panic() {
+        let (mut ram, _driver, mut device) = setup(8);
+        let layout = *device.layout();
+        // Forge an avail entry pointing beyond the table.
+        ram.write_u16(layout.avail_ring_addr(0), 100).unwrap();
+        ram.write_u16(layout.avail_idx_addr(), 1).unwrap();
+        assert_eq!(device.pop_avail(&ram), Err(VirtioError::BadHeadIndex(100)));
+        // Queue advanced past the bad entry; it is not wedged.
+        assert_eq!(device.pop_avail(&ram).unwrap(), None);
+    }
+
+    #[test]
+    fn descriptor_loop_is_detected() {
+        let (mut ram, _driver, mut device) = setup(8);
+        let layout = *device.layout();
+        // Descriptor 0 chains to itself.
+        ram.write_u64(layout.desc_addr(0), 0x5000).unwrap();
+        ram.write_u32(layout.desc_addr(0) + 8, 4).unwrap();
+        ram.write_u16(layout.desc_addr(0) + 12, DESC_F_NEXT)
+            .unwrap();
+        ram.write_u16(layout.desc_addr(0) + 14, 0).unwrap();
+        ram.write_u16(layout.avail_ring_addr(0), 0).unwrap();
+        ram.write_u16(layout.avail_idx_addr(), 1).unwrap();
+        assert_eq!(device.pop_avail(&ram), Err(VirtioError::ChainTooLong));
+    }
+
+    #[test]
+    fn bad_next_index_is_detected() {
+        let (mut ram, _driver, mut device) = setup(8);
+        let layout = *device.layout();
+        ram.write_u64(layout.desc_addr(0), 0x5000).unwrap();
+        ram.write_u32(layout.desc_addr(0) + 8, 4).unwrap();
+        ram.write_u16(layout.desc_addr(0) + 12, DESC_F_NEXT)
+            .unwrap();
+        ram.write_u16(layout.desc_addr(0) + 14, 99).unwrap();
+        ram.write_u16(layout.avail_ring_addr(0), 0).unwrap();
+        ram.write_u16(layout.avail_idx_addr(), 1).unwrap();
+        assert_eq!(device.pop_avail(&ram), Err(VirtioError::BadNextIndex(99)));
+    }
+
+    #[test]
+    fn readable_after_writable_is_rejected() {
+        let (mut ram, _driver, mut device) = setup(8);
+        let layout = *device.layout();
+        // desc 0: writable, next -> 1; desc 1: readable.
+        ram.write_u64(layout.desc_addr(0), 0x5000).unwrap();
+        ram.write_u32(layout.desc_addr(0) + 8, 4).unwrap();
+        ram.write_u16(layout.desc_addr(0) + 12, DESC_F_WRITE | DESC_F_NEXT)
+            .unwrap();
+        ram.write_u16(layout.desc_addr(0) + 14, 1).unwrap();
+        ram.write_u64(layout.desc_addr(1), 0x6000).unwrap();
+        ram.write_u32(layout.desc_addr(1) + 8, 4).unwrap();
+        ram.write_u16(layout.desc_addr(1) + 12, 0).unwrap();
+        ram.write_u16(layout.avail_ring_addr(0), 0).unwrap();
+        ram.write_u16(layout.avail_idx_addr(), 1).unwrap();
+        assert_eq!(
+            device.pop_avail(&ram),
+            Err(VirtioError::ReadableAfterWritable)
+        );
+    }
+
+    #[test]
+    fn nested_indirect_is_rejected() {
+        let (mut ram, _driver, mut device) = setup(8);
+        let layout = *device.layout();
+        // desc 0: indirect table at 0x9000 with one entry that is itself
+        // indirect.
+        ram.write_u64(layout.desc_addr(0), 0x9000).unwrap();
+        ram.write_u32(layout.desc_addr(0) + 8, 16).unwrap();
+        ram.write_u16(layout.desc_addr(0) + 12, DESC_F_INDIRECT)
+            .unwrap();
+        ram.write_u64(GuestAddr::new(0x9000), 0x5000).unwrap();
+        ram.write_u32(GuestAddr::new(0x9000 + 8), 4).unwrap();
+        ram.write_u16(GuestAddr::new(0x9000 + 12), DESC_F_INDIRECT)
+            .unwrap();
+        ram.write_u16(layout.avail_ring_addr(0), 0).unwrap();
+        ram.write_u16(layout.avail_idx_addr(), 1).unwrap();
+        assert!(matches!(
+            device.pop_avail(&ram),
+            Err(VirtioError::BadIndirect(_))
+        ));
+    }
+
+    #[test]
+    fn notification_suppression_flags() {
+        let (mut ram, mut driver, mut device) = setup(8);
+        assert!(driver.kick_needed(&ram).unwrap());
+        device.set_no_notify(&mut ram, true).unwrap();
+        assert!(!driver.kick_needed(&ram).unwrap());
+        device.set_no_notify(&mut ram, false).unwrap();
+        assert!(driver.kick_needed(&ram).unwrap());
+
+        assert!(!device.interrupts_suppressed(&ram).unwrap());
+        driver.set_no_interrupt(&mut ram, true).unwrap();
+        assert!(device.interrupts_suppressed(&ram).unwrap());
+    }
+
+    #[test]
+    fn event_idx_coalesces_interrupts() {
+        let (mut ram, mut driver, mut device) = setup(8);
+        // Driver asks: interrupt me only after 3 completions (used idx
+        // passes last_used + 2).
+        driver
+            .set_used_event(&mut ram, driver.last_used_idx().wrapping_add(2))
+            .unwrap();
+        let mut interrupts = 0;
+        for i in 0..3u32 {
+            driver
+                .add_buf(&mut ram, &[SgSegment::new(GuestAddr::new(0x5000), 4)], &[])
+                .unwrap();
+            let chain = device.pop_avail(&ram).unwrap().unwrap();
+            let old_used = device.used_idx();
+            device.push_used(&mut ram, chain.head, i).unwrap();
+            if device.needs_interrupt_event_idx(&ram, old_used).unwrap() {
+                interrupts += 1;
+            }
+        }
+        // Only the third completion (crossing the threshold) interrupts.
+        assert_eq!(interrupts, 1);
+    }
+
+    #[test]
+    fn event_idx_suppresses_kicks_for_a_polling_backend() {
+        let (mut ram, mut driver, mut device) = setup(8);
+        // A PMD backend sets avail_event far ahead: no kick needed.
+        device
+            .set_avail_event(&mut ram, driver.avail_idx().wrapping_add(1000))
+            .unwrap();
+        let old = driver.avail_idx();
+        driver
+            .add_buf(&mut ram, &[SgSegment::new(GuestAddr::new(0x5000), 4)], &[])
+            .unwrap();
+        assert!(!driver.kick_needed_event_idx(&ram, old).unwrap());
+        // An interrupt-mode backend sets it to the next entry: kick.
+        device
+            .set_avail_event(&mut ram, driver.avail_idx())
+            .unwrap();
+        let old = driver.avail_idx();
+        driver
+            .add_buf(&mut ram, &[SgSegment::new(GuestAddr::new(0x5100), 4)], &[])
+            .unwrap();
+        assert!(driver.kick_needed_event_idx(&ram, old).unwrap());
+    }
+
+    #[test]
+    fn need_event_handles_wraparound() {
+        // Crossing the threshold across the u16 wrap.
+        assert!(need_event(0xfffe, 0x0001, 0xfffd));
+        assert!(!need_event(0x0005, 0x0001, 0xfffd));
+        // Degenerate: no movement means no event.
+        assert!(!need_event(10, 20, 20));
+    }
+
+    #[test]
+    fn error_display_messages() {
+        assert!(VirtioError::ChainTooLong.to_string().contains("chain"));
+        assert!(VirtioError::BadHeadIndex(7).to_string().contains('7'));
+        let mem_err: VirtioError = MemError::OutOfBounds {
+            addr: GuestAddr::new(0),
+            len: 1,
+            size: 1,
+        }
+        .into();
+        assert!(mem_err.to_string().contains("memory fault"));
+    }
+}

@@ -1,0 +1,32 @@
+//! The §4 workload models.
+//!
+//! Every benchmark the paper runs is modelled here, each as a
+//! deterministic experiment function that takes a seed and returns the
+//! rows/series its figure plots. The bm-vs-vm *gaps emerge from the
+//! platform models* ([`bmhive_cpu::Platform`], [`bmhive_hypervisor::IoPath`]),
+//! not from hard-coded ratios; the per-request decompositions below
+//! (CPU µs, packets, storage ops) are the only calibration inputs.
+//!
+//! | Module | Paper result |
+//! |---|---|
+//! | [`spec`] | Fig. 7 — SPEC CINT2006 |
+//! | [`stream`] | Fig. 8 — STREAM bandwidth |
+//! | [`netperf`] | Fig. 9 — UDP PPS + TCP throughput |
+//! | [`sockperf`] | Fig. 10 — UDP / ping latency |
+//! | [`fio`] | Fig. 11 — storage latency |
+//! | [`nginx`] | Fig. 12 — NGINX RPS |
+//! | [`mariadb`] | Figs. 13/14 — MariaDB QPS |
+//! | [`redis`] | Figs. 15/16 — Redis RPS |
+
+pub mod env;
+pub mod fio;
+pub mod mariadb;
+pub mod netperf;
+pub mod nginx;
+pub mod redis;
+pub mod sockperf;
+pub mod spec;
+pub mod stream;
+pub mod trading;
+
+pub use env::GuestEnv;

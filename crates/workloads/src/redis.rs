@@ -1,0 +1,175 @@
+//! Redis under redis-benchmark: the Fig. 15/16 experiments.
+//!
+//! §4.4: 10 M random key-value entries, 1 M get/set queries per test,
+//! ten repetitions. Fig. 15 sweeps client count (1 000–10 000): the
+//! bm-guest's RPS is "about 20% to 40% better". Fig. 16 sweeps the value
+//! size (4 B–4 KB): the bm-guest "not only processed more requests per
+//! second but also had more stable throughput", while the vm-guest
+//! fluctuates (the paper attributes it to the cache).
+//!
+//! Redis is single-threaded: throughput is one core's per-op service
+//! rate. Every op is one request packet in, one response packet out —
+//! which puts the platform's per-packet machinery directly on the
+//! critical path.
+
+use crate::env::GuestEnv;
+use bmhive_cpu::{CpuWork, Platform};
+use bmhive_sim::{Series, SimDuration, SimTime};
+
+/// Command processing: hash lookup in a 10 M-entry table + dict walk.
+fn op_work(value_bytes: u32) -> CpuWork {
+    CpuWork {
+        cycles: 5_500.0,                              // ~2.2 µs at reference
+        mem_refs: 14.0,                               // hash bucket + entry + value header
+        bytes_streamed: f64::from(value_bytes) * 2.0, // read + serialise
+    }
+}
+
+/// One Fig. 15 run: RPS versus client count.
+pub fn run_redis_clients(env: &mut GuestEnv, client_counts: &[u32], value_bytes: u32) -> Series {
+    let mut series = Series::new(env.label);
+    for &clients in client_counts {
+        // More clients ⇒ deeper pipelining ⇒ better interrupt
+        // coalescing on both platforms (approaching the batched cost),
+        // but also more epoll/event overhead per op.
+        let batching = (f64::from(clients) / 800.0).min(1.0);
+        let pkt_cost = {
+            let un = env.pkt_virt_cpu.as_secs_f64();
+            let ba = env.pkt_virt_cpu_batched.as_secs_f64();
+            SimDuration::from_secs_f64(un + (ba - un) * batching)
+        };
+        let epoll = SimDuration::from_nanos(250 + u64::from(clients) / 20);
+        let stack = SimDuration::from_micros_f64(1.4); // recv+send, pipelined
+        let per_op = env.cpu.execute(&op_work(value_bytes)) + pkt_cost * 2 + stack + epoll;
+        series.push(f64::from(clients), 1.0 / per_op.as_secs_f64());
+    }
+    series
+}
+
+/// One Fig. 16 run: RPS versus value size at a fixed 4 000 clients, with
+/// per-second sampling so throughput *stability* is visible.
+pub fn run_redis_sizes(
+    env: &mut GuestEnv,
+    sizes: &[u32],
+    samples_per_size: u32,
+) -> Vec<(u32, Series)> {
+    let mut out = Vec::new();
+    for &size in sizes {
+        let mut series = Series::new(env.label);
+        for s in 0..samples_per_size {
+            let base = run_redis_clients(env, &[4_000], size).points()[0].1;
+            // Per-sample wobble: the vm-guest's throughput fluctuates
+            // with host cache/preemption state; the bm-guest is steady.
+            let per_op = SimDuration::from_secs_f64(1.0 / base);
+            let jittered = env
+                .cpu
+                .execute_with_jitter(
+                    &op_work(size).scaled(1_000.0),
+                    &mut env.rng,
+                    SimTime::from_secs(u64::from(s)),
+                )
+                .as_secs_f64()
+                / 1_000.0;
+            // Blend: the jittered execution replaces the op's CPU share.
+            let cpu_share = env.cpu.execute(&op_work(size)).as_secs_f64();
+            let sampled = per_op.as_secs_f64() - cpu_share + jittered;
+            // Additional vm-only cache interference wobble (neighbour
+            // VMs share the LLC; the compute board does not).
+            let interference = match env.cpu {
+                Platform::Vm { .. } => 1.0 + 0.06 * env.rng.normal(),
+                _ => 1.0 + 0.008 * env.rng.normal(),
+            };
+            series.push(f64::from(s), 1.0 / (sampled * interference.max(0.5)));
+        }
+        out.push((size, series));
+    }
+    out
+}
+
+/// The Fig. 15 client sweep.
+pub const CLIENT_SWEEP: [u32; 6] = [1_000, 2_000, 4_000, 6_000, 8_000, 10_000];
+/// The Fig. 16 value-size sweep.
+pub const SIZE_SWEEP: [u32; 6] = [4, 16, 64, 256, 1_024, 4_096];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmhive_sim::Summary;
+
+    #[test]
+    fn bm_rps_is_20_to_40_percent_higher_across_the_client_sweep() {
+        let mut bm = GuestEnv::bm(1);
+        let mut vm = GuestEnv::vm(1);
+        let bm_s = run_redis_clients(&mut bm, &CLIENT_SWEEP, 64);
+        let vm_s = run_redis_clients(&mut vm, &CLIENT_SWEEP, 64);
+        for (b, v) in bm_s.points().iter().zip(vm_s.points()) {
+            let ratio = b.1 / v.1;
+            assert!(
+                (1.15..=1.50).contains(&ratio),
+                "clients {}: ratio {ratio}",
+                b.0
+            );
+        }
+    }
+
+    #[test]
+    fn absolute_rps_is_redis_scale() {
+        let mut bm = GuestEnv::bm(2);
+        let s = run_redis_clients(&mut bm, &[4_000], 64);
+        let rps = s.points()[0].1;
+        // Single-threaded Redis: ~100–200 K RPS.
+        assert!((80e3..=250e3).contains(&rps), "rps {rps}");
+    }
+
+    #[test]
+    fn larger_values_reduce_rps() {
+        let mut bm = GuestEnv::bm(3);
+        let s = run_redis_clients(&mut bm, &[4_000], 4);
+        let big = run_redis_clients(&mut bm, &[4_000], 4_096);
+        assert!(s.points()[0].1 > big.points()[0].1);
+    }
+
+    #[test]
+    fn vm_throughput_fluctuates_more_than_bm() {
+        let mut bm = GuestEnv::bm(4);
+        let mut vm = GuestEnv::vm(4);
+        let bm_runs = run_redis_sizes(&mut bm, &[64], 40);
+        let vm_runs = run_redis_sizes(&mut vm, &[64], 40);
+        let cv = |series: &Series| {
+            let mut s = Summary::new();
+            for y in series.ys() {
+                s.record(y);
+            }
+            s.cv()
+        };
+        let bm_cv = cv(&bm_runs[0].1);
+        let vm_cv = cv(&vm_runs[0].1);
+        assert!(vm_cv > 2.0 * bm_cv, "vm cv {vm_cv} vs bm cv {bm_cv}");
+    }
+
+    #[test]
+    fn bm_wins_at_every_value_size() {
+        let mut bm = GuestEnv::bm(5);
+        let mut vm = GuestEnv::vm(5);
+        let bm_runs = run_redis_sizes(&mut bm, &SIZE_SWEEP, 10);
+        let vm_runs = run_redis_sizes(&mut vm, &SIZE_SWEEP, 10);
+        for ((size, bm_s), (_, vm_s)) in bm_runs.iter().zip(&vm_runs) {
+            assert!(
+                bm_s.mean_y() > vm_s.mean_y(),
+                "size {size}: bm {} vm {}",
+                bm_s.mean_y(),
+                vm_s.mean_y()
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut env = GuestEnv::vm(seed);
+            run_redis_sizes(&mut env, &[64], 5)[0].1.mean_y()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

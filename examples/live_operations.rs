@@ -1,0 +1,131 @@
+//! Live operations: the §6 toolbox — live bm-hypervisor upgrade
+//! (Orthus-style), the live-migration prototype with its documented
+//! drawbacks, and the tenant console of §3.4.2.
+//!
+//! Run with: `cargo run --example live_operations`
+
+use bmhive_core::prelude::*;
+use bmhive_hypervisor::migrate::{convert_to_bm, convert_to_vm, GuestOs, MigrationPolicy};
+use bmhive_hypervisor::upgrade::BackendProcess;
+use bmhive_hypervisor::ConsoleServer;
+use bmhive_mem::{GuestAddr, GuestRam, SgSegment};
+
+fn main() {
+    // --- 1. Live bm-hypervisor upgrade -------------------------------
+    println!("--- live bm-hypervisor upgrade (Orthus-style, §6) ---");
+    let mut ram = GuestRam::new(1 << 20);
+    let layout = QueueLayout::contiguous(GuestAddr::new(0x1000), 64);
+    let mut driver = VirtqueueDriver::new(&mut ram, layout).expect("ring");
+    let mut backend = BackendProcess::start("bm-hypervisor v2019.11", layout);
+
+    // Traffic flows on the old version...
+    for i in 0..3u64 {
+        ram.write(GuestAddr::new(0x8000), format!("req-{i}").as_bytes())
+            .unwrap();
+        driver
+            .add_buf(&mut ram, &[SgSegment::new(GuestAddr::new(0x8000), 5)], &[])
+            .unwrap();
+        let chain = backend.vq_mut().pop_avail(&ram).unwrap().unwrap();
+        backend.vq_mut().push_used(&mut ram, chain.head, 0).unwrap();
+        backend.note_served();
+        driver.poll_used(&ram).unwrap();
+    }
+    println!("{} served {} requests", backend.version(), backend.served());
+
+    // A request lands during the upgrade window...
+    driver
+        .add_buf(&mut ram, &[SgSegment::new(GuestAddr::new(0x8000), 5)], &[])
+        .unwrap();
+    let (mut backend, report) =
+        backend.live_upgrade("bm-hypervisor v2020.03", SimTime::from_secs(1));
+    println!(
+        "upgraded to {} with a {} pause; the in-window request now completes:",
+        backend.version(),
+        report.pause
+    );
+    let chain = backend
+        .vq_mut()
+        .pop_avail(&ram)
+        .unwrap()
+        .expect("picked up");
+    backend.vq_mut().push_used(&mut ram, chain.head, 0).unwrap();
+    println!(
+        "  head {} completed on the new version — zero loss",
+        chain.head
+    );
+
+    // --- 2. Live migration prototype ---------------------------------
+    println!("\n--- live migration via on-demand virtualization (§6 prototype) ---");
+    let guest = BmGuestSession::new(
+        IoBondProfile::fpga(),
+        MacAddr::for_guest(7),
+        128,
+        InstanceLimits::production(),
+    );
+    // Drawback #1: the provider must not touch the tenant's system
+    // without consent.
+    let refused = convert_to_vm(
+        BmGuestSession::new(
+            IoBondProfile::fpga(),
+            MacAddr::for_guest(8),
+            64,
+            InstanceLimits::production(),
+        ),
+        GuestOs::KnownLinux,
+        MigrationPolicy {
+            tenant_consents_to_injection: false,
+        },
+        SimTime::ZERO,
+        1,
+    );
+    println!("without consent: {}", refused.expect_err("refused"));
+    // With consent and a supported OS it works.
+    let converted = convert_to_vm(
+        guest,
+        GuestOs::KnownLinux,
+        MigrationPolicy {
+            tenant_consents_to_injection: true,
+        },
+        SimTime::ZERO,
+        1,
+    )
+    .expect("converted");
+    println!(
+        "converted bm-guest {} to a migratable vm-guest at {}",
+        converted.mac, converted.converted_at
+    );
+    let (landed, at) = convert_to_bm(converted, IoBondProfile::fpga(), SimTime::from_secs(5));
+    println!(
+        "landed on a fresh compute board as {} at {at}",
+        landed.mac()
+    );
+    // Drawback #2: a tenant running their own hypervisor defeats the shim.
+    let nested = convert_to_vm(
+        landed,
+        GuestOs::UnknownOrNestedHypervisor,
+        MigrationPolicy {
+            tenant_consents_to_injection: true,
+        },
+        SimTime::from_secs(6),
+        2,
+    );
+    println!(
+        "tenant running their own hypervisor: {}",
+        nested.expect_err("unsupported")
+    );
+
+    // --- 3. The tenant console (§3.4.2) ------------------------------
+    println!("\n--- VGA console ---");
+    let mut consoles = ConsoleServer::new();
+    let mac = MacAddr::for_guest(7);
+    consoles.register(mac);
+    consoles.guest_output(
+        mac,
+        b"CentOS Linux 7 (Core)\nKernel 3.10.0-514.26.2.el7 on x86_64\n\nbm-guest login: ",
+    );
+    let screen = consoles.attach(mac).expect("registered");
+    for line in screen.iter().take(4) {
+        println!("  | {line}");
+    }
+    println!("({} viewer attached)", consoles.viewers(mac));
+}

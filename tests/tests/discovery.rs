@@ -1,0 +1,159 @@
+//! Register-level device discovery: drive the virtio-pci transport the
+//! way a guest's firmware and kernel actually would — config-space scan,
+//! BAR sizing, capability walk, feature negotiation, queue programming —
+//! across the `bmhive-pcie` and `bmhive-virtio` crates together.
+
+use bmhive_pcie::{Bdf, PciBus};
+use bmhive_sim::SimTime;
+use bmhive_virtio::{
+    status, DeviceType, Feature, VirtioPciFunction, CAP_COMMON_CFG, CAP_DEVICE_CFG, CAP_ISR_CFG,
+    CAP_NOTIFY_CFG,
+};
+
+/// Reads a capability's little-endian u32 body field.
+fn cap_u32(bus: &PciBus, bdf: Bdf, cap_offset: u16, field: u16) -> u32 {
+    bus.config_read(bdf, cap_offset + field, 4)
+}
+
+#[test]
+fn firmware_discovers_and_drives_a_virtio_net_function() {
+    let mut bus = PciBus::new();
+    let net = VirtioPciFunction::new(
+        DeviceType::Net,
+        Feature::NetMac as u64 | Feature::RingIndirectDesc as u64,
+        256,
+        bmhive_virtio::NetConfig::with_mac([0x52, 0x54, 0, 0, 0, 9])
+            .to_bytes()
+            .to_vec(),
+    );
+    let blk = VirtioPciFunction::new(
+        DeviceType::Block,
+        Feature::BlkFlush as u64,
+        128,
+        bmhive_virtio::BlkConfig::with_capacity_bytes(40 << 30)
+            .to_bytes()
+            .to_vec(),
+    );
+    bus.plug(Bdf::new(0, 4, 0), Box::new(net));
+    bus.plug(Bdf::new(0, 5, 0), Box::new(blk));
+
+    // 1. Scan: find virtio functions by vendor id.
+    let mut found = Vec::new();
+    for dev in 0..32 {
+        let bdf = Bdf::new(0, dev, 0);
+        if bus.config_read(bdf, 0, 2) == 0x1af4 {
+            found.push((bdf, bus.config_read(bdf, 2, 2)));
+        }
+    }
+    assert_eq!(found.len(), 2);
+    let (net_bdf, net_id) = found[0];
+    assert_eq!(net_id, 0x1041, "modern virtio-net device id");
+    assert_eq!(found[1].1, 0x1042, "modern virtio-blk device id");
+
+    // 2. Size and map BARs.
+    let mapped = bus.enumerate_and_map(0xfe00_0000);
+    assert_eq!(mapped.len(), 2);
+    let net_bar = mapped.iter().find(|m| m.bdf == net_bdf).unwrap();
+
+    // 3. Walk the capability list for the four virtio windows.
+    let device = bus.device(net_bdf).unwrap();
+    let caps = device.config().capabilities();
+    let vendor_caps: Vec<u16> = caps
+        .iter()
+        .filter(|(_, id)| *id == 0x09)
+        .map(|(off, _)| *off)
+        .collect();
+    assert_eq!(vendor_caps.len(), 4);
+    let mut windows = std::collections::HashMap::new();
+    for off in vendor_caps {
+        let cfg_type = bus.config_read(net_bdf, off + 3, 1) as u8;
+        let offset = cap_u32(&bus, net_bdf, off, 8);
+        let length = cap_u32(&bus, net_bdf, off, 12);
+        windows.insert(cfg_type, (u64::from(offset), length));
+    }
+    for t in [CAP_COMMON_CFG, CAP_NOTIFY_CFG, CAP_ISR_CFG, CAP_DEVICE_CFG] {
+        assert!(windows.contains_key(&t), "missing cfg_type {t}");
+    }
+
+    // 4. Read the MAC out of the device-config window via MMIO.
+    let (dev_off, _) = windows[&CAP_DEVICE_CFG];
+    let mmio =
+        |bus: &mut PciBus, off: u64, w: u8| bus.mmio_read(net_bar.base + off, w, SimTime::ZERO);
+    let mac0 = mmio(&mut bus, dev_off, 1);
+    let mac5 = mmio(&mut bus, dev_off + 5, 1);
+    assert_eq!((mac0, mac5), (0x52, 9));
+
+    // 5. Status handshake through the common window.
+    let (common, _) = windows[&CAP_COMMON_CFG];
+    let status_reg = net_bar.base + common + 0x14;
+    bus.mmio_write(status_reg, 1, u32::from(status::ACKNOWLEDGE), SimTime::ZERO);
+    bus.mmio_write(
+        status_reg,
+        1,
+        u32::from(status::ACKNOWLEDGE | status::DRIVER),
+        SimTime::ZERO,
+    );
+    // Feature negotiation.
+    bus.mmio_write(net_bar.base + common, 4, 0, SimTime::ZERO);
+    let f_lo = bus.mmio_read(net_bar.base + common + 0x04, 4, SimTime::ZERO);
+    bus.mmio_write(net_bar.base + common + 0x08, 4, 0, SimTime::ZERO);
+    bus.mmio_write(net_bar.base + common + 0x0c, 4, f_lo, SimTime::ZERO);
+    bus.mmio_write(net_bar.base + common + 0x08, 4, 1, SimTime::ZERO);
+    bus.mmio_write(net_bar.base + common + 0x0c, 4, 1, SimTime::ZERO); // Version1 bit 32
+    bus.mmio_write(
+        status_reg,
+        1,
+        u32::from(status::ACKNOWLEDGE | status::DRIVER | status::FEATURES_OK),
+        SimTime::ZERO,
+    );
+    assert_eq!(
+        bus.mmio_read(status_reg, 1, SimTime::ZERO) as u8,
+        status::ACKNOWLEDGE | status::DRIVER | status::FEATURES_OK
+    );
+
+    // 6. Program the rx queue through the select/size/address registers.
+    bus.mmio_write(net_bar.base + common + 0x16, 2, 0, SimTime::ZERO); // queue_select = 0
+    assert_eq!(
+        bus.mmio_read(net_bar.base + common + 0x18, 2, SimTime::ZERO),
+        256
+    );
+    bus.mmio_write(net_bar.base + common + 0x20, 4, 0x4_0000, SimTime::ZERO); // desc lo
+    bus.mmio_write(net_bar.base + common + 0x28, 4, 0x5_0000, SimTime::ZERO); // driver lo
+    bus.mmio_write(net_bar.base + common + 0x30, 4, 0x6_0000, SimTime::ZERO); // device lo
+    bus.mmio_write(net_bar.base + common + 0x1c, 2, 1, SimTime::ZERO); // enable
+
+    // 7. DRIVER_OK and a doorbell through the notify window.
+    bus.mmio_write(
+        status_reg,
+        1,
+        u32::from(status::ACKNOWLEDGE | status::DRIVER | status::FEATURES_OK | status::DRIVER_OK),
+        SimTime::ZERO,
+    );
+    let (notify, _) = windows[&CAP_NOTIFY_CFG];
+    bus.mmio_write(net_bar.base + notify, 2, 0, SimTime::from_micros(10));
+
+    // The device model observed everything.
+    let device = bus.device(net_bdf).unwrap();
+    // (Downcast via a fresh read of the config space state is not
+    // possible through the trait; verify behaviourally instead.)
+    assert!(device.config().memory_enabled());
+
+    // ISR: raise + acknowledge through the ISR window.
+    let (isr, _) = windows[&CAP_ISR_CFG];
+    assert_eq!(bus.mmio_read(net_bar.base + isr, 1, SimTime::ZERO), 0);
+}
+
+#[test]
+fn unplugged_function_reads_all_ones_mid_operation() {
+    // Surprise removal (board power-off) mid-discovery.
+    let mut bus = PciBus::new();
+    let bdf = Bdf::new(0, 1, 0);
+    bus.plug(
+        bdf,
+        Box::new(VirtioPciFunction::new(DeviceType::Net, 0, 64, vec![0; 12])),
+    );
+    assert_eq!(bus.config_read(bdf, 0, 2), 0x1af4);
+    bus.unplug(bdf).unwrap();
+    assert_eq!(bus.config_read(bdf, 0, 2), 0xffff);
+    assert_eq!(bus.mmio_read(0xfe00_0000, 4, SimTime::ZERO), 0xffff_ffff);
+}

@@ -6,13 +6,19 @@
 //! cargo run -p bmhive-bench --release --bin repro            # everything
 //! cargo run -p bmhive-bench --release --bin repro -- fig11   # one experiment
 //! cargo run -p bmhive-bench --release --bin repro -- --seed 7 fig9 fig10
+//! cargo run -p bmhive-bench --release --bin repro -- --trace /tmp/t.json iobond
+//! cargo run -p bmhive-bench --release --bin repro -- --metrics fig11
 //! ```
 
+use bmhive_telemetry as telemetry;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut seed = 1u64;
-    let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut metrics = false;
     let mut requested: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -31,16 +37,27 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--trace" => match args.next() {
+                Some(path) => trace_path = Some(path.into()),
+                None => {
+                    eprintln!("--trace requires a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--metrics" => metrics = true,
             "--help" | "-h" => {
                 print_help();
                 return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag '{other}' (see --help)");
+                return ExitCode::FAILURE;
             }
             other => requested.push(other.to_string()),
         }
     }
 
-    let experiments = bmhive_bench::all_experiments(seed);
-    let known: Vec<&str> = experiments.iter().map(|(id, _)| *id).collect();
+    let known = bmhive_bench::EXPERIMENT_IDS;
     for r in &requested {
         if !known.contains(&r.as_str()) {
             eprintln!("unknown experiment '{r}'; known: {}", known.join(", "));
@@ -48,39 +65,121 @@ fn main() -> ExitCode {
         }
     }
 
+    // Validate output destinations up front, before hours of experiments.
     if let Some(dir) = &out_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("cannot create {}: {e}", dir.display());
+            eprintln!("cannot create --out {}: {e}", dir.display());
             return ExitCode::FAILURE;
         }
     }
-    let mut printed = 0;
-    for (id, text) in &experiments {
-        if requested.is_empty() || requested.iter().any(|r| r == id) {
-            println!("======== {id} ========");
-            println!("{text}");
-            if let Some(dir) = &out_dir {
-                let path = dir.join(format!("{id}.txt"));
-                if let Err(e) = std::fs::write(&path, text) {
-                    eprintln!("cannot write {}: {e}", path.display());
-                    return ExitCode::FAILURE;
-                }
+    if let Some(path) = &trace_path {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("cannot create --trace directory {}: {e}", parent.display());
+                return ExitCode::FAILURE;
             }
-            printed += 1;
         }
     }
+
+    let telemetry_on = trace_path.is_some() || metrics;
+    if telemetry_on {
+        telemetry::set_enabled(true);
+        telemetry::reset();
+    }
+
+    let mut printed = 0;
+    for id in known {
+        if !requested.is_empty() && !requested.iter().any(|r| r == id) {
+            continue;
+        }
+        let text = bmhive_bench::run_experiment(id, seed).expect("known id");
+        println!("======== {id} ========");
+        println!("{text}");
+        if let Some(dir) = &out_dir {
+            let txt = dir.join(format!("{id}.txt"));
+            if let Err(e) = std::fs::write(&txt, &text) {
+                eprintln!("cannot write {}: {e}", txt.display());
+                return ExitCode::FAILURE;
+            }
+            let json = dir.join(format!("{id}.json"));
+            if let Err(e) = std::fs::write(&json, experiment_json(id, seed, &text)) {
+                eprintln!("cannot write {}: {e}", json.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        printed += 1;
+    }
+
+    if telemetry_on {
+        let snap = telemetry::snapshot();
+        if let Some(path) = &trace_path {
+            let doc = telemetry::export::chrome_trace(&snap.events);
+            if let Err(e) = std::fs::write(path, doc) {
+                eprintln!("cannot write trace {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "[repro] wrote {} span(s) to {} ({} dropped by the ring buffer)",
+                snap.events.len(),
+                path.display(),
+                snap.dropped
+            );
+        }
+        if metrics {
+            println!("======== latency attribution ========");
+            print!(
+                "{}",
+                telemetry::Attribution::from_events(&snap.events).to_text()
+            );
+            println!("======== metrics ========");
+            print!("{}", snap.registry.to_text());
+        }
+        telemetry::set_enabled(false);
+    }
+
     if let Some(dir) = &out_dir {
-        eprintln!("[repro] wrote {printed} file(s) under {}", dir.display());
+        eprintln!(
+            "[repro] wrote {printed} experiment(s) (.txt + .json) under {}",
+            dir.display()
+        );
     }
     eprintln!("[repro] {printed} experiment(s) rendered with seed {seed}");
     ExitCode::SUCCESS
 }
 
+/// A machine-readable summary of one rendered experiment: the id, the
+/// seed, and the report body as a JSON array of lines (jq-friendly).
+fn experiment_json(id: &str, seed: u64, text: &str) -> String {
+    use telemetry::export::json_escape;
+    let mut out = format!(
+        "{{\"experiment\":\"{}\",\"seed\":{seed},\"lines\":[",
+        json_escape(id)
+    );
+    for (i, line) in text.lines().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&json_escape(line));
+        out.push('"');
+    }
+    out.push_str("]}\n");
+    out
+}
+
 fn print_help() {
     println!("repro — regenerate the BM-Hive paper's tables and figures");
     println!();
-    println!("USAGE: repro [--seed N] [--out DIR] [experiment ...]");
+    println!("USAGE: repro [--seed N] [--out DIR] [--trace FILE] [--metrics] [experiment ...]");
+    println!();
+    println!("  --seed N       seed for every stochastic experiment (default 1)");
+    println!("  --out DIR      write each experiment as DIR/<id>.txt + DIR/<id>.json");
+    println!("  --trace FILE   record a virtual-time telemetry trace of the run and");
+    println!("                 write it as Chrome trace_event JSON (chrome://tracing)");
+    println!("  --metrics      print the latency attribution and metrics registry");
     println!();
     println!("experiments: table1 table2 fig1 table3 fig7 fig8 fig9 fig10 fig11");
-    println!("             fig12 fig13 fig14 fig15 fig16 cost nested iobond asic offload sgx trading");
+    println!(
+        "             fig12 fig13 fig14 fig15 fig16 cost nested iobond asic offload sgx trading"
+    );
 }

@@ -641,7 +641,18 @@ pub fn iobond() -> String {
         )
         .unwrap();
     }
-    writeln!(out, "  total: {}", steps::total_latency(&steps)).unwrap();
+    // trace_exchange records the exchange (and its 14 step spans) into
+    // the global trace when `repro --trace` enabled telemetry; its
+    // return value is the same step sum printed above.
+    let total = steps::trace_exchange(&profile, 64, 64, bmhive_sim::SimTime::ZERO);
+    debug_assert_eq!(total, steps::total_latency(&steps));
+    writeln!(out, "  total: {}", total).unwrap();
+    writeln!(
+        out,
+        "  closed-form model total: {}  (must match)",
+        steps::modelled_exchange_latency(&profile, 64, 64)
+    )
+    .unwrap();
     out
 }
 
@@ -836,30 +847,51 @@ pub fn trading(seed: u64) -> String {
 }
 
 /// Every experiment in paper order: `(id, rendered output)`.
+/// Every experiment id, in the paper's presentation order.
+pub const EXPERIMENT_IDS: [&str; 21] = [
+    "table1", "table2", "fig1", "table3", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+    "fig13", "fig14", "fig15", "fig16", "cost", "nested", "iobond", "asic", "offload", "sgx",
+    "trading",
+];
+
+/// Runs one experiment by id. Returns `None` for unknown ids.
+///
+/// Experiments run lazily, one at a time — so `repro --trace iobond`
+/// captures a telemetry trace of *that* experiment alone rather than
+/// of the whole suite.
+pub fn run_experiment(id: &str, seed: u64) -> Option<String> {
+    Some(match id {
+        "table1" => table1(),
+        "table2" => table2(seed),
+        "fig1" => fig1(seed),
+        "table3" => table3(),
+        "fig7" => fig7(),
+        "fig8" => fig8(),
+        "fig9" => fig9(seed),
+        "fig10" => fig10(seed),
+        "fig11" => fig11(seed),
+        "fig12" => fig12(seed),
+        "fig13" => fig13(seed),
+        "fig14" => fig14(seed),
+        "fig15" => fig15(seed),
+        "fig16" => fig16(seed),
+        "cost" => cost(),
+        "nested" => nested(),
+        "iobond" => iobond(),
+        "asic" => asic(),
+        "offload" => offload(),
+        "sgx" => sgx(),
+        "trading" => trading(seed),
+        _ => return None,
+    })
+}
+
+/// Runs every experiment (in order), rendering each.
 pub fn all_experiments(seed: u64) -> Vec<(&'static str, String)> {
-    vec![
-        ("table1", table1()),
-        ("table2", table2(seed)),
-        ("fig1", fig1(seed)),
-        ("table3", table3()),
-        ("fig7", fig7()),
-        ("fig8", fig8()),
-        ("fig9", fig9(seed)),
-        ("fig10", fig10(seed)),
-        ("fig11", fig11(seed)),
-        ("fig12", fig12(seed)),
-        ("fig13", fig13(seed)),
-        ("fig14", fig14(seed)),
-        ("fig15", fig15(seed)),
-        ("fig16", fig16(seed)),
-        ("cost", cost()),
-        ("nested", nested()),
-        ("iobond", iobond()),
-        ("asic", asic()),
-        ("offload", offload()),
-        ("sgx", sgx()),
-        ("trading", trading(seed)),
-    ]
+    EXPERIMENT_IDS
+        .iter()
+        .map(|id| (*id, run_experiment(id, seed).expect("known id")))
+        .collect()
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@
 //! of Fig. 11 comes from.
 
 use bmhive_sim::{MultiResource, SimDuration, SimRng, SimTime};
+use bmhive_telemetry as telemetry;
 
 /// Where the volume's bits live.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -100,6 +101,29 @@ impl BlockStore {
         let served = self.channels.serve(now, service);
         self.ops += 1;
         self.bytes += bytes;
+        if telemetry::is_enabled() {
+            telemetry::span("blockstore", "queue_wait", now, served.queue_delay(now));
+            telemetry::span_with(
+                "blockstore",
+                "service",
+                served.start,
+                service,
+                vec![
+                    (
+                        "kind",
+                        match kind {
+                            IoKind::Read => "read",
+                            IoKind::Write => "write",
+                        }
+                        .into(),
+                    ),
+                    ("bytes", bytes.into()),
+                ],
+            );
+            telemetry::counter("blockstore.ops", 1);
+            telemetry::counter("blockstore.bytes", bytes);
+            telemetry::timer("blockstore.sojourn", served.sojourn(now));
+        }
         IoResult {
             complete_at: served.end,
             service,

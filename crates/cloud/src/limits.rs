@@ -8,6 +8,7 @@
 //! 300 MB/s storage bandwidth cap of §4.3.
 
 use bmhive_sim::{SimTime, TokenBucket};
+use bmhive_telemetry as telemetry;
 
 /// The rate caps applied to one instance's I/O, identical for vm-guests
 /// and bm-guests.
@@ -52,6 +53,13 @@ impl InstanceLimits {
         if let Some(b) = &mut self.net_bytes {
             at = at.max(b.acquire(now, f64::from(bytes)));
         }
+        if at > now && telemetry::is_enabled() {
+            telemetry::counter("limits.net_throttled", 1);
+            telemetry::timer(
+                "limits.net_throttle_wait",
+                at.saturating_duration_since(now),
+            );
+        }
         at
     }
 
@@ -63,6 +71,10 @@ impl InstanceLimits {
         }
         if let Some(b) = &mut self.storage_bytes {
             at = at.max(b.acquire(now, bytes as f64));
+        }
+        if at > now && telemetry::is_enabled() {
+            telemetry::counter("limits.io_throttled", 1);
+            telemetry::timer("limits.io_throttle_wait", at.saturating_duration_since(now));
         }
         at
     }

@@ -9,6 +9,7 @@
 
 use bmhive_net::{MacAddr, Packet};
 use bmhive_sim::{MultiResource, SimDuration, SimTime};
+use bmhive_telemetry as telemetry;
 use std::collections::HashMap;
 
 /// A vSwitch port handle.
@@ -81,6 +82,21 @@ impl VSwitch {
     /// Forwards one frame arriving at the switch at `now`.
     pub fn forward(&mut self, packet: &Packet, now: SimTime) -> Forwarded {
         let served = self.pmd.serve(now, self.per_packet);
+        if telemetry::is_enabled() {
+            // Queueing (waiting for a free PMD core) and service are
+            // separated so the attribution can tell saturation from
+            // per-packet cost.
+            telemetry::span("vswitch", "queue_wait", now, served.queue_delay(now));
+            telemetry::span(
+                "vswitch",
+                "service",
+                served.start,
+                served.end.saturating_duration_since(served.start),
+            );
+            telemetry::counter("vswitch.forwarded", 1);
+            telemetry::timer("vswitch.sojourn", served.sojourn(now));
+            telemetry::gauge("vswitch.pmd_busy_secs", self.pmd.busy_time().as_secs_f64());
+        }
         match self.macs.get(&packet.dst) {
             Some(&port) => {
                 self.forwarded += 1;
@@ -111,6 +127,21 @@ impl VSwitch {
     /// The aggregate forwarding capacity in packets/second.
     pub fn capacity_pps(&self) -> f64 {
         self.pmd.servers() as f64 / self.per_packet.as_secs_f64()
+    }
+
+    /// Total PMD-core busy time so far (the poll-loop occupancy
+    /// numerator; divide by elapsed virtual time × cores).
+    pub fn pmd_busy_time(&self) -> SimDuration {
+        self.pmd.busy_time()
+    }
+
+    /// PMD poll-loop occupancy over `horizon` of virtual time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is zero.
+    pub fn pmd_occupancy(&self, horizon: SimDuration) -> f64 {
+        self.pmd.utilization(horizon)
     }
 }
 

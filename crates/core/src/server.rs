@@ -19,6 +19,7 @@ use bmhive_hypervisor::{boot_guest, BmGuestSession, BootReport};
 use bmhive_iobond::IoBondProfile;
 use bmhive_net::{MacAddr, PacketKind};
 use bmhive_sim::SimTime;
+use bmhive_telemetry as telemetry;
 use bmhive_virtio::{BlkRequestType, BlkStatus};
 use std::collections::HashMap;
 use std::error::Error;
@@ -341,6 +342,25 @@ impl BmHiveServer {
         payload: &[u8],
         now: SimTime,
     ) -> Result<IoTiming, ServerError> {
+        // The span wraps the whole board → vSwitch → board path, so
+        // every session/vswitch span recorded inside nests under it.
+        // On error the span closes at `now` rather than leaking open.
+        let op = telemetry::begin("server", "guest_send", now);
+        let result = self.guest_send_impl(from, dst, payload, now);
+        telemetry::end(op, result.as_ref().map(|t| t.completed).unwrap_or(now));
+        if result.is_ok() {
+            telemetry::counter("server.guest_sends", 1);
+        }
+        result
+    }
+
+    fn guest_send_impl(
+        &mut self,
+        from: GuestId,
+        dst: MacAddr,
+        payload: &[u8],
+        now: SimTime,
+    ) -> Result<IoTiming, ServerError> {
         let sender = self
             .guests
             .get_mut(&from)
@@ -388,14 +408,25 @@ impl BmHiveServer {
         read_len: u64,
         now: SimTime,
     ) -> Result<(BlkStatus, Vec<u8>, IoTiming), ServerError> {
-        let guest = self
-            .guests
-            .get_mut(&guest_id)
-            .ok_or(ServerError::BadHandle("unknown guest"))?;
-        guest
-            .session
-            .blk_request(&mut self.store, req, sector, data, read_len, now)
-            .map_err(ServerError::Io)
+        let op = telemetry::begin("server", "guest_blk", now);
+        let result = (|| {
+            let guest = self
+                .guests
+                .get_mut(&guest_id)
+                .ok_or(ServerError::BadHandle("unknown guest"))?;
+            guest
+                .session
+                .blk_request(&mut self.store, req, sector, data, read_len, now)
+                .map_err(ServerError::Io)
+        })();
+        telemetry::end(
+            op,
+            result.as_ref().map(|(_, _, t)| t.completed).unwrap_or(now),
+        );
+        if result.is_ok() {
+            telemetry::counter("server.guest_blks", 1);
+        }
+        result
     }
 }
 

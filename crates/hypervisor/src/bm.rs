@@ -14,6 +14,7 @@ use bmhive_iobond::{IoBondDevice, IoBondProfile, StagingPool};
 use bmhive_mem::{GuestAddr, GuestRam, SgSegment};
 use bmhive_net::{MacAddr, Packet, PacketKind};
 use bmhive_sim::{SimDuration, SimTime};
+use bmhive_telemetry as telemetry;
 use bmhive_virtio::{
     BlkRequestHeader, BlkRequestType, BlkStatus, DescChain, DeviceType, Feature, QueueLayout,
     VirtioError, VirtioNetHeader, Virtqueue, VirtqueueDriver, VIRTIO_NET_HDR_LEN,
@@ -350,6 +351,40 @@ impl BmGuestSession {
             }
         }
         self.total_tx += 1;
+        // The phase spans are recorded after the fact (every boundary
+        // is only known once the exchange is priced), so error paths
+        // above can never leave a span open.
+        if telemetry::is_enabled() {
+            let op = telemetry::begin("bm", "net_send", now);
+            telemetry::span("bm", "kick", now, kicked.saturating_duration_since(now));
+            telemetry::span(
+                "bm",
+                "shadow_sync",
+                kicked,
+                synced_at.saturating_duration_since(kicked),
+            );
+            telemetry::span(
+                "bm",
+                "pmd_poll",
+                synced_at,
+                seen.saturating_duration_since(synced_at),
+            );
+            telemetry::span(
+                "bm",
+                "throttle",
+                seen,
+                admitted.saturating_duration_since(seen),
+            );
+            telemetry::span(
+                "bm",
+                "complete",
+                admitted,
+                done.saturating_duration_since(admitted),
+            );
+            telemetry::end(op, done);
+            telemetry::counter("bm.net_tx_packets", 1);
+            telemetry::timer("bm.net_send", done.saturating_duration_since(now));
+        }
         Ok((
             EgressPacket {
                 packet,
@@ -415,6 +450,16 @@ impl BmGuestSession {
         self.replenish_rx()?;
         self.total_rx += 1;
         let payload_out = delivered.ok_or(SessionError::BadRequest("no rx completion"))?;
+        if telemetry::is_enabled() {
+            telemetry::span(
+                "bm",
+                "net_receive",
+                now,
+                done.saturating_duration_since(now),
+            );
+            telemetry::counter("bm.net_rx_packets", 1);
+            telemetry::timer("bm.net_receive", done.saturating_duration_since(now));
+        }
         Ok((
             payload_out,
             IoTiming {
@@ -482,7 +527,8 @@ impl BmGuestSession {
         let report = self
             .blk_dev
             .service(&mut self.board, &mut self.base, kicked)?;
-        let synced = report.tx[0].done_at + self.profile.base_register_access();
+        let synced_at = report.tx[0].done_at;
+        let synced = synced_at + self.profile.base_register_access();
 
         // Backend: parse, rate-limit, execute on the store.
         let chain = self
@@ -523,6 +569,37 @@ impl BmGuestSession {
             }
         }
         self.total_io += 1;
+        if telemetry::is_enabled() {
+            let op = telemetry::begin("bm", "blk_request", now);
+            telemetry::span("bm", "kick", now, kicked.saturating_duration_since(now));
+            telemetry::span(
+                "bm",
+                "shadow_sync",
+                kicked,
+                synced_at.saturating_duration_since(kicked),
+            );
+            telemetry::span(
+                "bm",
+                "pmd_poll",
+                synced_at,
+                synced.saturating_duration_since(synced_at),
+            );
+            telemetry::span(
+                "bm",
+                "backend_execute",
+                synced,
+                io_done.saturating_duration_since(synced),
+            );
+            telemetry::span(
+                "bm",
+                "complete",
+                io_done,
+                done.saturating_duration_since(io_done),
+            );
+            telemetry::end(op, done);
+            telemetry::counter("bm.blk_ops", 1);
+            telemetry::timer("bm.blk_request", done.saturating_duration_since(now));
+        }
         Ok((
             result.0,
             result.1,

@@ -18,6 +18,7 @@ use bmhive_iobond::StagingPool;
 use bmhive_mem::{GuestAddr, GuestRam, SgSegment};
 use bmhive_net::{MacAddr, Packet, PacketKind};
 use bmhive_sim::{SimDuration, SimRng, SimTime};
+use bmhive_telemetry as telemetry;
 use bmhive_virtio::{
     BlkRequestHeader, BlkRequestType, BlkStatus, QueueLayout, VirtioNetHeader, Virtqueue,
     VirtqueueDriver, VIRTIO_NET_HDR_LEN,
@@ -170,14 +171,26 @@ impl VmGuestSession {
     }
 
     fn completion_delivery(&mut self, now: SimTime, vcpu_idle: bool) -> SimTime {
+        // VM-exit class accounting (the Table 2 taxonomy): every
+        // completion is an interrupt injection; a halted vCPU adds a
+        // wakeup unless halt-polling absorbs it; some I/Os land in a
+        // host-preemption burst.
+        telemetry::counter("vm.exit.irq_inject", 1);
         let mut t = now + self.costs.inject;
         if vcpu_idle && !self.rng.chance(self.costs.halt_poll_hit) {
-            t +=
+            let wakeup =
                 SimDuration::from_secs_f64(self.rng.exp(self.costs.halt_wakeup_mean.as_secs_f64()));
+            telemetry::counter("vm.exit.halt_wakeup", 1);
+            telemetry::timer("vm.halt_wakeup", wakeup);
+            t += wakeup;
+        } else if vcpu_idle {
+            telemetry::counter("vm.exit.halt_poll_hit", 1);
         }
         if self.rng.chance(self.costs.preempt_prob) {
+            telemetry::counter("vm.exit.preempt_burst", 1);
             t += self.costs.preempt_burst;
         }
+        telemetry::timer("vm.completion_delivery", t.saturating_duration_since(now));
         t
     }
 
@@ -232,6 +245,37 @@ impl VmGuestSession {
             }
         }
         self.total_tx += 1;
+        if telemetry::is_enabled() {
+            let op = telemetry::begin("vm", "net_send", now);
+            telemetry::span(
+                "vm",
+                "vm_exit_kick",
+                now,
+                kicked.saturating_duration_since(now),
+            );
+            telemetry::span(
+                "vm",
+                "vhost_copy",
+                kicked,
+                copied.saturating_duration_since(kicked),
+            );
+            telemetry::span(
+                "vm",
+                "throttle",
+                copied,
+                admitted.saturating_duration_since(copied),
+            );
+            telemetry::span(
+                "vm",
+                "complete",
+                admitted,
+                done.saturating_duration_since(admitted),
+            );
+            telemetry::end(op, done);
+            telemetry::counter("vm.exit.ioeventfd_kick", 1);
+            telemetry::counter("vm.net_tx_packets", 1);
+            telemetry::timer("vm.net_send", done.saturating_duration_since(now));
+        }
         Ok((
             EgressPacket {
                 packet,
@@ -282,6 +326,24 @@ impl VmGuestSession {
         self.replenish_rx()?;
         self.total_rx += 1;
         let payload_out = delivered.ok_or(SessionError::BadRequest("no rx completion"))?;
+        if telemetry::is_enabled() {
+            let op = telemetry::begin("vm", "net_receive", now);
+            telemetry::span(
+                "vm",
+                "vhost_copy",
+                now,
+                copied.saturating_duration_since(now),
+            );
+            telemetry::span(
+                "vm",
+                "complete",
+                copied,
+                done.saturating_duration_since(copied),
+            );
+            telemetry::end(op, done);
+            telemetry::counter("vm.net_rx_packets", 1);
+            telemetry::timer("vm.net_receive", done.saturating_duration_since(now));
+        }
         Ok((
             payload_out,
             IoTiming {
@@ -410,6 +472,31 @@ impl VmGuestSession {
             }
         }
         self.total_io += 1;
+        if telemetry::is_enabled() {
+            let op = telemetry::begin("vm", "blk_request", now);
+            telemetry::span(
+                "vm",
+                "vm_exit_kick",
+                now,
+                kicked.saturating_duration_since(now),
+            );
+            telemetry::span(
+                "vm",
+                "backend_execute",
+                kicked,
+                io_done.saturating_duration_since(kicked),
+            );
+            telemetry::span(
+                "vm",
+                "complete",
+                io_done,
+                done.saturating_duration_since(io_done),
+            );
+            telemetry::end(op, done);
+            telemetry::counter("vm.exit.ioeventfd_kick", 1);
+            telemetry::counter("vm.blk_ops", 1);
+            telemetry::timer("vm.blk_request", done.saturating_duration_since(now));
+        }
         Ok((
             result.0,
             result.1,

@@ -29,6 +29,7 @@ use crate::pool::StagingPool;
 use crate::profile::IoBondProfile;
 use bmhive_mem::{GuestRam, SgList};
 use bmhive_sim::{SimDuration, SimTime};
+use bmhive_telemetry as telemetry;
 use bmhive_virtio::{DescChain, QueueLayout, VirtioError, Virtqueue, VirtqueueDriver};
 use std::collections::{HashMap, VecDeque};
 
@@ -192,10 +193,22 @@ impl ShadowQueue {
                 Err(StageError::NoStaging) => {
                     // Park it and stop: staging frees on completion.
                     self.deferred.push_front(chain);
+                    telemetry::counter("iobond.staging_backpressure", 1);
                     break;
                 }
                 Err(StageError::Virtio(e)) => return Err(e),
             }
+        }
+        if chains > 0 && telemetry::is_enabled() {
+            telemetry::span_with(
+                "iobond",
+                "sync_to_shadow",
+                now,
+                done_at.saturating_duration_since(now),
+                vec![("chains", (chains as u64).into()), ("bytes", bytes.into())],
+            );
+            telemetry::counter("iobond.chains_synced", chains as u64);
+            telemetry::counter("iobond.bytes_to_shadow", bytes);
         }
         Ok(SyncReport {
             chains,
@@ -347,6 +360,17 @@ impl ShadowQueue {
                 written,
                 at: finish,
             });
+        }
+        if !out.is_empty() && telemetry::is_enabled() {
+            let last = out.iter().map(|c| c.at).max().unwrap_or(now);
+            telemetry::span_with(
+                "iobond",
+                "sync_from_shadow",
+                now,
+                last.saturating_duration_since(now),
+                vec![("completions", (out.len() as u64).into())],
+            );
+            telemetry::counter("iobond.completions", out.len() as u64);
         }
         Ok(out)
     }

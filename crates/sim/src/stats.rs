@@ -7,7 +7,6 @@
 //! figure reproductions.
 
 use crate::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// A log-bucketed histogram of non-negative values.
 ///
@@ -28,7 +27,7 @@ use serde::{Deserialize, Serialize};
 /// let p50 = h.percentile(50.0);
 /// assert!((450.0..=550.0).contains(&p50));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     counts: Vec<u64>,
     total: u64,
@@ -187,7 +186,7 @@ impl Default for Histogram {
 /// assert_eq!(s.mean(), 5.0);
 /// assert_eq!(s.std_dev(), 2.0); // population standard deviation
 /// ```
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct Summary {
     count: u64,
     mean: f64,
@@ -297,7 +296,7 @@ pub fn exact_percentile(samples: &[f64], p: f64) -> f64 {
 }
 
 /// A labelled (x, y) series for reproducing one curve of a figure.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     label: String,
     points: Vec<(f64, f64)>,

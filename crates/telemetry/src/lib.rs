@@ -1,0 +1,304 @@
+//! Deterministic observability for the BM-Hive reproduction: a
+//! virtual-time span tracer, a metrics registry, latency attribution
+//! reports, and trace exporters.
+//!
+//! The paper's results are latency *attributions* — which of the 14
+//! IO-Bond steps (Fig. 6), which VM-exit class (Table 2), which
+//! queueing stage costs what. This crate lets any experiment answer
+//! those questions about the reproduction itself:
+//!
+//! * [`Collector`] — spans open/close against [`SimTime`] (never the
+//!   wall clock), nest, carry key/value attributes, and land in a
+//!   bounded ring buffer. Same seed ⇒ byte-identical trace.
+//! * [`Registry`] — named counters, gauges, and histogram-backed
+//!   timers, cheap enough to leave compiled in.
+//! * [`Attribution`] — rolls a trace up per `(component, label)` with
+//!   double-count-free self times.
+//! * [`export`] — Chrome `trace_event` JSON (loadable in
+//!   `chrome://tracing`), JSONL, and plain-text reports.
+//!
+//! # The global collector
+//!
+//! Instrumentation in the other crates records through the free
+//! functions here ([`span`], [`counter`], [`timer`], …), which funnel
+//! into one process-global collector. It is **off by default**: every
+//! record function first checks one relaxed atomic and returns
+//! immediately, so benches and tests that never call
+//! [`set_enabled`]`(true)` pay a load-and-branch per site and nothing
+//! else — and the no-op mode has zero side effects.
+//!
+//! Deterministic ordering is guaranteed for single-threaded recording
+//! (the `repro` binary and the experiment harness are single-threaded);
+//! concurrent recorders serialise on a mutex but interleave
+//! nondeterministically, so multi-threaded users should capture into
+//! their own [`Collector`] instead.
+//!
+//! # Example
+//!
+//! ```
+//! use bmhive_sim::{SimDuration, SimTime};
+//! use bmhive_telemetry as telemetry;
+//!
+//! telemetry::set_enabled(true);
+//! telemetry::reset();
+//! let op = telemetry::begin("server", "guest_send", SimTime::ZERO);
+//! telemetry::span("vswitch", "forward", SimTime::ZERO, SimDuration::from_nanos(300));
+//! telemetry::end(op, SimTime::from_nanos(300));
+//! telemetry::counter("vswitch.forwarded", 1);
+//!
+//! let snap = telemetry::snapshot();
+//! assert_eq!(snap.events.len(), 2);
+//! assert_eq!(snap.registry.counter("vswitch.forwarded"), 1);
+//! println!("{}", telemetry::export::chrome_trace(&snap.events));
+//! telemetry::set_enabled(false);
+//! ```
+
+pub mod export;
+pub mod registry;
+pub mod report;
+pub mod span;
+
+pub use registry::Registry;
+pub use report::{Attribution, AttributionRow};
+pub use span::{AttrValue, Collector, SpanEvent, SpanId, DEFAULT_CAPACITY};
+
+use bmhive_sim::{SimDuration, SimTime};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// The process-global collector + registry pair.
+struct Global {
+    collector: Collector,
+    registry: Registry,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn global() -> MutexGuard<'static, Global> {
+    static GLOBAL: OnceLock<Mutex<Global>> = OnceLock::new();
+    GLOBAL
+        .get_or_init(|| {
+            Mutex::new(Global {
+                collector: Collector::new(DEFAULT_CAPACITY),
+                registry: Registry::new(),
+            })
+        })
+        .lock()
+        // A panic while holding the lock (e.g. a failing assertion in a
+        // test) must not cascade into every later telemetry call.
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Whether global recording is on. One relaxed atomic load — the cost
+/// every instrumentation site pays when telemetry is off.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns global recording on or off. Off is the default; turning it
+/// off does not discard what was already recorded (call [`reset`]).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Clears the global trace and metrics; sequence numbering restarts so
+/// the next run reproduces a fresh-process trace exactly.
+pub fn reset() {
+    let mut g = global();
+    g.collector.clear();
+    g.registry.clear();
+}
+
+/// A point-in-time copy of everything recorded globally.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Closed spans in `seq` (open) order.
+    pub events: Vec<SpanEvent>,
+    /// The metrics registry.
+    pub registry: Registry,
+    /// Spans evicted by the ring-buffer bound.
+    pub dropped: u64,
+}
+
+/// Copies the global trace (in deterministic `seq` order) and metrics.
+pub fn snapshot() -> Snapshot {
+    let g = global();
+    Snapshot {
+        events: g.collector.events_by_seq(),
+        registry: g.registry.clone(),
+        dropped: g.collector.dropped(),
+    }
+}
+
+/// Records a complete span globally. No-op while disabled.
+#[inline]
+pub fn span(component: &'static str, label: impl Into<String>, start: SimTime, d: SimDuration) {
+    if is_enabled() {
+        global().collector.span(component, label, start, d);
+    }
+}
+
+/// Records a complete span with attributes globally. No-op while
+/// disabled (the attribute vector is only built by callers after an
+/// [`is_enabled`] check or inside [`span_with`]'s closure-free call,
+/// so disabled runs never allocate).
+#[inline]
+pub fn span_with(
+    component: &'static str,
+    label: impl Into<String>,
+    start: SimTime,
+    d: SimDuration,
+    attrs: Vec<(&'static str, AttrValue)>,
+) {
+    if is_enabled() {
+        global()
+            .collector
+            .span_with(component, label, start, d, attrs);
+    }
+}
+
+/// A token from [`begin`]: either a live global span or a no-op marker
+/// recorded while telemetry was disabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScopeToken(Option<SpanId>);
+
+impl ScopeToken {
+    /// A token that makes the matching [`end`] a no-op.
+    pub const NOOP: ScopeToken = ScopeToken(None);
+}
+
+/// Opens a nesting span globally; spans recorded before the matching
+/// [`end`] become its children. Returns a no-op token while disabled.
+#[inline]
+pub fn begin(component: &'static str, label: impl Into<String>, start: SimTime) -> ScopeToken {
+    if is_enabled() {
+        ScopeToken(Some(global().collector.begin(component, label, start)))
+    } else {
+        ScopeToken::NOOP
+    }
+}
+
+/// Closes a span opened by [`begin`] at virtual time `at`. Tokens from
+/// a disabled period no-op even if telemetry was enabled meanwhile, so
+/// enable/disable transitions can never unbalance the span stack.
+#[inline]
+pub fn end(token: ScopeToken, at: SimTime) {
+    if let ScopeToken(Some(id)) = token {
+        global().collector.end(id, at);
+    }
+}
+
+/// Adds to a global counter. No-op while disabled.
+#[inline]
+pub fn counter(name: &str, delta: u64) {
+    if is_enabled() {
+        global().registry.counter_add(name, delta);
+    }
+}
+
+/// Sets a global gauge. No-op while disabled.
+#[inline]
+pub fn gauge(name: &str, value: f64) {
+    if is_enabled() {
+        global().registry.gauge_set(name, value);
+    }
+}
+
+/// Records a duration sample into a global timer. No-op while
+/// disabled.
+#[inline]
+pub fn timer(name: &str, d: SimDuration) {
+    if is_enabled() {
+        global().registry.timer_record(name, d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Global-state tests share one lock so `cargo test`'s threaded
+    // runner cannot interleave their enable/record/disable windows.
+    fn serial() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn disabled_recording_has_zero_side_effects() {
+        let _s = serial();
+        set_enabled(false);
+        reset();
+        let before = snapshot();
+        span("a", "x", SimTime::ZERO, SimDuration::from_nanos(1));
+        let t = begin("a", "y", SimTime::ZERO);
+        end(t, SimTime::from_nanos(5));
+        counter("c", 1);
+        gauge("g", 1.0);
+        timer("t", SimDuration::from_nanos(1));
+        let after = snapshot();
+        assert_eq!(before.events.len(), 0);
+        assert_eq!(after.events.len(), 0);
+        assert!(after.registry.is_empty());
+        assert_eq!(after.dropped, 0);
+    }
+
+    #[test]
+    fn enabled_recording_round_trips() {
+        let _s = serial();
+        set_enabled(true);
+        reset();
+        let op = begin("server", "op", SimTime::ZERO);
+        span("inner", "leaf", SimTime::ZERO, SimDuration::from_nanos(10));
+        end(op, SimTime::from_nanos(10));
+        counter("ops", 2);
+        timer("lat", SimDuration::from_micros(3));
+        let snap = snapshot();
+        set_enabled(false);
+        assert_eq!(snap.events.len(), 2);
+        assert_eq!(snap.events[0].label, "op");
+        assert_eq!(snap.events[1].parent, Some(snap.events[0].seq));
+        assert_eq!(snap.registry.counter("ops"), 2);
+        assert_eq!(snap.registry.timer("lat").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn same_input_same_trace_bytes() {
+        let _s = serial();
+        let run = || {
+            set_enabled(true);
+            reset();
+            for i in 0..50u64 {
+                let t = begin("comp", format!("op{}", i % 5), SimTime::from_nanos(i * 100));
+                span(
+                    "comp",
+                    "step",
+                    SimTime::from_nanos(i * 100),
+                    SimDuration::from_nanos(40),
+                );
+                end(t, SimTime::from_nanos(i * 100 + 90));
+            }
+            let snap = snapshot();
+            set_enabled(false);
+            (
+                export::chrome_trace(&snap.events),
+                export::jsonl(&snap.events),
+                export::registry_json(&snap.registry),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn disabled_begin_token_noops_after_reenable() {
+        let _s = serial();
+        set_enabled(false);
+        reset();
+        let token = begin("a", "x", SimTime::ZERO);
+        set_enabled(true);
+        end(token, SimTime::from_nanos(1)); // must not panic or record
+        assert_eq!(snapshot().events.len(), 0);
+        set_enabled(false);
+    }
+}

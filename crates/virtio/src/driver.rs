@@ -18,6 +18,7 @@ use crate::queue::{
     USED_F_NO_NOTIFY,
 };
 use bmhive_mem::{GuestAddr, GuestRam, SgSegment};
+use bmhive_telemetry as telemetry;
 use std::collections::HashMap;
 
 /// Driver-side state of one split virtqueue.
@@ -195,6 +196,7 @@ impl VirtqueueDriver {
         ram.write_u16(self.layout.avail + 4 + 2 * u64::from(slot), head)?;
         self.avail_idx = self.avail_idx.wrapping_add(1);
         ram.write_u16(self.layout.avail + 2, self.avail_idx)?;
+        telemetry::counter("virtio.chains_published", 1);
         Ok(())
     }
 

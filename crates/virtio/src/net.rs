@@ -300,7 +300,9 @@ mod merge_tests {
     #[test]
     fn small_packet_uses_one_buffer() {
         let (mut ram, mut driver, mut device, _) = rx_ring(4, 2048);
-        let d = deliver_merged(&mut ram, &mut device, b"small").unwrap().unwrap();
+        let d = deliver_merged(&mut ram, &mut device, b"small")
+            .unwrap()
+            .unwrap();
         assert_eq!(d.buffers_used, 1);
         assert_eq!(d.total_written, 12 + 5);
         let (head, len) = driver.poll_used(&ram).unwrap().unwrap();
@@ -317,7 +319,9 @@ mod merge_tests {
         // 5012 bytes → 3 buffers.
         let (mut ram, mut driver, mut device, _) = rx_ring(4, 2048);
         let payload: Vec<u8> = (0..5000u32).map(|i| (i % 251) as u8).collect();
-        let d = deliver_merged(&mut ram, &mut device, &payload).unwrap().unwrap();
+        let d = deliver_merged(&mut ram, &mut device, &payload)
+            .unwrap()
+            .unwrap();
         assert_eq!(d.buffers_used, 3);
         assert_eq!(d.total_written, 12 + 5000);
         // Reassemble from the three completions, in order.
@@ -346,7 +350,10 @@ mod merge_tests {
         // Only 2 × 2048 B posted; a 6000-byte payload cannot fit.
         let (mut ram, mut driver, mut device, _) = rx_ring(2, 2048);
         let payload = vec![7u8; 6000];
-        assert_eq!(deliver_merged(&mut ram, &mut device, &payload).unwrap(), None);
+        assert_eq!(
+            deliver_merged(&mut ram, &mut device, &payload).unwrap(),
+            None
+        );
         // Both buffers came back with zero length — recycled, not lost.
         let mut recycled = 0;
         while let Some((_, len)) = driver.poll_used(&ram).unwrap() {
@@ -364,6 +371,8 @@ mod merge_tests {
                     .unwrap(),
             );
         }
-        assert!(deliver_merged(&mut ram, &mut device, &[1u8; 3000]).unwrap().is_some());
+        assert!(deliver_merged(&mut ram, &mut device, &[1u8; 3000])
+            .unwrap()
+            .is_some());
     }
 }

@@ -11,6 +11,7 @@
 //! (§3.4.1, Fig. 4) — see the `bmhive-iobond` crate.
 
 use bmhive_mem::{GuestAddr, GuestRam, MemError, SgList, SgSegment};
+use bmhive_telemetry as telemetry;
 use std::error::Error;
 use std::fmt;
 
@@ -286,6 +287,7 @@ impl Virtqueue {
         }
         let chain = self.walk_chain(ram, head)?;
         self.popped += 1;
+        telemetry::counter("virtio.chains_popped", 1);
         Ok(Some(chain))
     }
 
@@ -397,6 +399,7 @@ impl Virtqueue {
         self.used_idx = self.used_idx.wrapping_add(1);
         ram.write_u16(self.layout.used_idx_addr(), self.used_idx)?;
         self.completed += 1;
+        telemetry::counter("virtio.used_completions", 1);
         Ok(())
     }
 

@@ -59,7 +59,7 @@ pub fn run_trading(env: &mut GuestEnv, ticks: u32) -> TradingRun {
     let mut missed_fills = 0u64;
     for i in 0..ticks {
         let now = SimTime::from_micros(u64::from(i) * 50); // 20K ticks/s
-        // Tick in: backend → guest path + poll-mode rx.
+                                                           // Tick in: backend → guest path + poll-mode rx.
         let rx = env.path.net_oneway(128) + env.cpu.execute(&stack.rx_work(&tick));
         // Strategy compute, with the platform's scheduling jitter.
         let compute = env

@@ -3,9 +3,9 @@
 //! one server — the §3.2 "seamlessly integrated into the existing cloud
 //! infrastructure" story end to end.
 
-use bmhive_core::prelude::*;
 use bmhive_cloud::firmware::{FirmwareError, FirmwareImage, SigningKey};
 use bmhive_cloud::image::ImageService;
+use bmhive_core::prelude::*;
 use bmhive_hypervisor::migrate::{convert_to_vm, GuestOs, MigrationPolicy};
 use bmhive_sim::SimTime;
 
@@ -76,7 +76,9 @@ fn firmware_fleet_rollout_with_one_tampered_board() {
         .iter()
         .find(|i| i.name.contains("atom"))
         .unwrap();
-    let boards: Vec<_> = (0..4).map(|_| server.install_board(atom).unwrap()).collect();
+    let boards: Vec<_> = (0..4)
+        .map(|_| server.install_board(atom).unwrap())
+        .collect();
     let key = server.signing_key();
 
     // Roll the fleet to efi-2.0... but one update in transit is
@@ -156,5 +158,7 @@ fn migration_prototype_composes_with_the_server() {
     assert_eq!(converted.mac, MacAddr::for_guest(42));
 
     // The board is already reusable.
-    assert!(server.power_on(board, &image, SimTime::from_secs(2)).is_ok());
+    assert!(server
+        .power_on(board, &image, SimTime::from_secs(2))
+        .is_ok());
 }

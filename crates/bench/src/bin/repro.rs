@@ -8,8 +8,10 @@
 //! cargo run -p bmhive-bench --release --bin repro -- --seed 7 fig9 fig10
 //! cargo run -p bmhive-bench --release --bin repro -- --trace /tmp/t.json iobond
 //! cargo run -p bmhive-bench --release --bin repro -- --metrics fig11
+//! cargo run -p bmhive-bench --release --bin repro -- --faults link-flap faults
 //! ```
 
+use bmhive_faults as faults;
 use bmhive_telemetry as telemetry;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -19,6 +21,7 @@ fn main() -> ExitCode {
     let mut out_dir: Option<PathBuf> = None;
     let mut trace_path: Option<PathBuf> = None;
     let mut metrics = false;
+    let mut fault_plan: Option<String> = None;
     let mut requested: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -45,6 +48,13 @@ fn main() -> ExitCode {
                 }
             },
             "--metrics" => metrics = true,
+            "--faults" => match args.next() {
+                Some(arg) => fault_plan = Some(arg),
+                None => {
+                    eprintln!("--faults requires a canned plan name or a JSON file path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 print_help();
                 return ExitCode::SUCCESS;
@@ -81,6 +91,18 @@ fn main() -> ExitCode {
         }
     }
 
+    // Arm the fault plan (if any) before the first experiment, so the
+    // whole run is injected and recovered deterministically in `seed`.
+    if let Some(arg) = &fault_plan {
+        match resolve_fault_plan(arg) {
+            Ok(plan) => faults::arm(plan, seed),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     let telemetry_on = trace_path.is_some() || metrics;
     if telemetry_on {
         telemetry::set_enabled(true);
@@ -108,6 +130,12 @@ fn main() -> ExitCode {
             }
         }
         printed += 1;
+    }
+
+    if fault_plan.is_some() {
+        let stats = faults::disarm().expect("armed above");
+        println!("======== fault stats ========");
+        print!("{}", stats.to_text());
     }
 
     if telemetry_on {
@@ -167,19 +195,39 @@ fn experiment_json(id: &str, seed: u64, text: &str) -> String {
     out
 }
 
+/// Resolves a `--faults` argument: a canned plan name first, else a
+/// JSON plan file (the format `FaultPlan::to_json` writes).
+fn resolve_fault_plan(arg: &str) -> Result<faults::FaultPlan, String> {
+    if let Some(plan) = faults::canned(arg) {
+        return Ok(plan);
+    }
+    let doc = std::fs::read_to_string(arg).map_err(|e| {
+        format!(
+            "--faults '{arg}' is neither a canned plan ({}) nor a readable file: {e}",
+            faults::CANNED_PLAN_NAMES.join(", ")
+        )
+    })?;
+    faults::FaultPlan::from_json(&doc).map_err(|e| format!("cannot parse --faults {arg}: {e}"))
+}
+
 fn print_help() {
     println!("repro — regenerate the BM-Hive paper's tables and figures");
     println!();
-    println!("USAGE: repro [--seed N] [--out DIR] [--trace FILE] [--metrics] [experiment ...]");
+    println!(
+        "USAGE: repro [--seed N] [--out DIR] [--trace FILE] [--metrics] [--faults PLAN] [experiment ...]"
+    );
     println!();
     println!("  --seed N       seed for every stochastic experiment (default 1)");
     println!("  --out DIR      write each experiment as DIR/<id>.txt + DIR/<id>.json");
     println!("  --trace FILE   record a virtual-time telemetry trace of the run and");
     println!("                 write it as Chrome trace_event JSON (chrome://tracing)");
     println!("  --metrics      print the latency attribution and metrics registry");
+    println!("  --faults PLAN  arm a fault plan for the whole run: a canned name");
+    println!("                 (link-flap, dma-timeout, backend-brownout, board-loss)");
+    println!("                 or a JSON plan file; prints the fault stats at the end.");
+    println!("                 Pairs naturally with the 'faults' experiment.");
     println!();
     println!("experiments: table1 table2 fig1 table3 fig7 fig8 fig9 fig10 fig11");
-    println!(
-        "             fig12 fig13 fig14 fig15 fig16 cost nested iobond asic offload sgx trading"
-    );
+    println!("             fig12 fig13 fig14 fig15 fig16 cost nested iobond asic offload sgx");
+    println!("             trading faults");
 }

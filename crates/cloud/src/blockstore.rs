@@ -8,6 +8,7 @@
 //! preemption) are added by the callers, which is where the bm/vm gap
 //! of Fig. 11 comes from.
 
+use bmhive_faults::{self as faults, FaultSite};
 use bmhive_sim::{MultiResource, SimDuration, SimRng, SimTime};
 use bmhive_telemetry as telemetry;
 
@@ -96,8 +97,19 @@ impl BlockStore {
 
     /// Submits one I/O of `bytes` at `now`; returns its completion.
     /// Operations queue FCFS across the store's channels.
+    ///
+    /// Under an armed [`bmhive_faults`] plan a block-store brownout
+    /// multiplies the service time for I/Os issued inside its window.
     pub fn submit(&mut self, kind: IoKind, bytes: u64, now: SimTime) -> IoResult {
-        let service = self.base_latency(kind) + self.transfer_time(bytes);
+        let mut service = self.base_latency(kind) + self.transfer_time(bytes);
+        if faults::is_armed() {
+            let factor = faults::latency_factor(FaultSite::BlockStore, now);
+            if factor > 1.0 {
+                let degraded = service.mul_f64(factor);
+                faults::note_degraded(FaultSite::BlockStore, degraded - service);
+                service = degraded;
+            }
+        }
         let served = self.channels.serve(now, service);
         self.ops += 1;
         self.bytes += bytes;
@@ -239,6 +251,24 @@ mod tests {
         // The 25 K IOPS cloud cap must be achievable by the device.
         let mut store = BlockStore::new(StorageClass::CloudSsd, 6);
         assert!(store.device_iops_4k() > 25_000.0);
+    }
+
+    #[test]
+    fn brownout_inflates_service_inside_the_window() {
+        let _guard = crate::fault_test_lock();
+        // Same seed twice: the first store measures the clean service
+        // time, the second measures it under the canned brownout
+        // (block store ×4 over 650–900 µs).
+        let mut clean = BlockStore::new(StorageClass::CloudSsd, 9);
+        let baseline = clean.submit(IoKind::Read, 4096, SimTime::from_micros(660));
+        let plan = bmhive_faults::canned("backend-brownout").unwrap();
+        bmhive_faults::arm(plan, 9);
+        let mut store = BlockStore::new(StorageClass::CloudSsd, 9);
+        let degraded = store.submit(IoKind::Read, 4096, SimTime::from_micros(660));
+        let stats = bmhive_faults::disarm().expect("stats");
+        assert_eq!(degraded.service, baseline.service.mul_f64(4.0));
+        assert!(stats.injected_total() > 0);
+        assert!(stats.degraded_ns.contains_key("blockstore"));
     }
 
     #[test]

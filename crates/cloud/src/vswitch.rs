@@ -7,6 +7,7 @@
 //! pool of PMD cores, which is where backend saturation (and the Fig. 9
 //! PPS ceiling) comes from.
 
+use bmhive_faults::{self as faults, FaultSite};
 use bmhive_net::{MacAddr, Packet};
 use bmhive_sim::{MultiResource, SimDuration, SimTime};
 use bmhive_telemetry as telemetry;
@@ -42,6 +43,11 @@ impl VSwitch {
     /// Per-packet PMD forwarding cost (DPDK l2fwd-class switching plus
     /// the customised cloud overlay lookup).
     pub const DEFAULT_PER_PACKET: SimDuration = SimDuration::from_nanos(300);
+
+    /// During a brownout the switch sheds load instead of queueing
+    /// without bound: frames that would wait longer than this for a
+    /// PMD core are dropped at ingress.
+    pub const SHED_THRESHOLD: SimDuration = SimDuration::from_micros(10);
 
     /// Creates a switch served by `pmd_cores` poll-mode cores.
     ///
@@ -80,8 +86,30 @@ impl VSwitch {
     }
 
     /// Forwards one frame arriving at the switch at `now`.
+    ///
+    /// Under an armed [`bmhive_faults`] plan a vSwitch brownout
+    /// multiplies the per-packet cost; if the PMD backlog then exceeds
+    /// [`Self::SHED_THRESHOLD`] the frame is shed (graceful
+    /// degradation) rather than queued behind the slowdown.
     pub fn forward(&mut self, packet: &Packet, now: SimTime) -> Forwarded {
-        let served = self.pmd.serve(now, self.per_packet);
+        let mut per_packet = self.per_packet;
+        if faults::is_armed() {
+            let factor = faults::latency_factor(FaultSite::VSwitch, now);
+            if factor > 1.0 {
+                per_packet = per_packet.mul_f64(factor);
+                faults::note_degraded(FaultSite::VSwitch, per_packet - self.per_packet);
+                let backlog = self.pmd.next_free().saturating_duration_since(now);
+                if backlog > Self::SHED_THRESHOLD {
+                    self.dropped += 1;
+                    faults::note_shed(FaultSite::VSwitch);
+                    if telemetry::is_enabled() {
+                        telemetry::counter("vswitch.shed", 1);
+                    }
+                    return Forwarded::Dropped;
+                }
+            }
+        }
+        let served = self.pmd.serve(now, per_packet);
         if telemetry::is_enabled() {
             // Queueing (waiting for a free PMD core) and service are
             // separated so the attribution can tell saturation from
@@ -221,6 +249,54 @@ mod tests {
         }
         // 10 000 × 300 ns = 3 ms of work on one core.
         assert!(last >= SimTime::from_millis(3));
+    }
+
+    #[test]
+    fn brownout_slows_forwarding_and_sheds_backlog() {
+        let _guard = crate::fault_test_lock();
+        let plan = faults::canned("backend-brownout").unwrap();
+        faults::arm(plan, 77);
+        // Inside the vSwitch brownout window (200–500 µs, ×6): the
+        // per-packet cost inflates from 300 ns to 1.8 µs.
+        let mut sw = VSwitch::new(1);
+        sw.attach(MacAddr::for_guest(2), PortId(2));
+        let at = SimTime::from_micros(210);
+        match sw.forward(&pkt(1, 2), at) {
+            Forwarded::Local(_, done) => {
+                assert_eq!(done, at + VSwitch::DEFAULT_PER_PACKET.mul_f64(6.0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Hammering one PMD core at a single instant builds backlog
+        // past the shed threshold; the tail of the burst is dropped.
+        let mut shed = 0;
+        for _ in 0..12 {
+            if matches!(sw.forward(&pkt(1, 2), at), Forwarded::Dropped) {
+                shed += 1;
+            }
+        }
+        assert!(shed >= 1, "expected shedding under brownout backlog");
+        assert_eq!(sw.dropped_count(), shed);
+        let stats = faults::disarm().expect("stats");
+        assert!(stats.shed.get("vswitch").copied().unwrap_or(0) >= shed);
+        assert!(stats.injected_total() > 0);
+    }
+
+    #[test]
+    fn outside_brownout_window_behaviour_is_identical() {
+        let _guard = crate::fault_test_lock();
+        let plan = faults::canned("backend-brownout").unwrap();
+        faults::arm(plan, 77);
+        let mut sw = VSwitch::new(1);
+        sw.attach(MacAddr::for_guest(2), PortId(2));
+        // 50 µs is before the 200 µs brownout onset: stock cost.
+        match sw.forward(&pkt(1, 2), SimTime::from_micros(50)) {
+            Forwarded::Local(_, done) => {
+                assert_eq!(done, SimTime::from_micros(50) + VSwitch::DEFAULT_PER_PACKET);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        faults::disarm();
     }
 
     #[test]

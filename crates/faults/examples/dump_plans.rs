@@ -1,0 +1,19 @@
+//! Regenerates the canned fault-plan JSON files under `plans/`.
+//!
+//! ```text
+//! cargo run -p bmhive-faults --example dump_plans
+//! ```
+//!
+//! The files are checked in; CI re-runs this and fails if they drift
+//! from the canned plans compiled into the crate.
+
+fn main() {
+    let dir = std::path::Path::new("plans");
+    std::fs::create_dir_all(dir).expect("create plans/");
+    for name in bmhive_faults::CANNED_PLAN_NAMES {
+        let plan = bmhive_faults::canned(name).expect("canned plan");
+        let path = dir.join(format!("{name}.json"));
+        std::fs::write(&path, plan.to_json()).expect("write plan");
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,620 @@
+//! The process-global fault injector.
+//!
+//! Mirrors the `bmhive-telemetry` collector pattern: a cheap atomic
+//! armed flag guards a lazily initialised mutex, so unarmed runs pay
+//! one relaxed load per injection site and observe *identical* latency
+//! to a build without the faults crate. Arming installs a
+//! [`FaultPlan`] plus a dedicated RNG stream forked from the run seed;
+//! every retry-backoff draw comes from that stream, never from caller
+//! RNGs, so arming a plan perturbs only the faulted operations.
+//!
+//! Call sites ask three questions, each scoped to a [`FaultSite`]:
+//!
+//! * [`blocking_until`] — is a *blocking* window fault (link flap, DMA
+//!   timeout, mailbox stall) covering `now`, and until when?
+//! * [`latency_factor`] — what latency multiplier do active spike /
+//!   brownout windows impose?
+//! * [`corrupted`] / [`take_oneshot`] — is this descriptor fetch
+//!   corrupted; did this doorbell / power-loss event fire?
+//!
+//! Recovery is paced by [`retry_until_clear`], which simulates bounded
+//! exponential backoff against the plan's windows and records the
+//! outcome in [`FaultStats`] and the telemetry stream (component
+//! `"faults"`).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use bmhive_sim::{SimDuration, SimRng, SimTime};
+use bmhive_telemetry as telemetry;
+
+use crate::plan::{FaultKind, FaultPlan, FaultSite};
+use crate::retry::RetryPolicy;
+
+/// Telemetry component name for all fault/recovery spans.
+pub const COMPONENT: &str = "faults";
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static STATE: OnceLock<Mutex<Option<Injector>>> = OnceLock::new();
+
+fn state() -> MutexGuard<'static, Option<Injector>> {
+    STATE
+        .get_or_init(|| Mutex::new(None))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+struct Injector {
+    plan: FaultPlan,
+    rng: SimRng,
+    policy: RetryPolicy,
+    /// One flag per plan event; one-shot kinds flip it when they fire.
+    consumed: Vec<bool>,
+    stats: FaultStats,
+}
+
+impl Injector {
+    fn new(plan: FaultPlan, seed: u64) -> Self {
+        let consumed = vec![false; plan.events().len()];
+        let stats = FaultStats::new(&plan.name);
+        Injector {
+            plan,
+            // A dedicated stream: arming must not disturb the streams
+            // the workload itself forks from the same seed.
+            rng: SimRng::with_stream(seed, 0xFA17),
+            policy: RetryPolicy::device_path(),
+            consumed,
+            stats,
+        }
+    }
+
+    /// Latest end time over blocking windows at `site` covering `now`.
+    fn blocking_until(&self, site: FaultSite, now: SimTime) -> Option<SimTime> {
+        self.plan
+            .events()
+            .iter()
+            .filter(|ev| {
+                ev.site == site
+                    && ev.covers(now)
+                    && matches!(
+                        ev.kind,
+                        FaultKind::LinkFlap | FaultKind::DmaTimeout | FaultKind::MailboxStall
+                    )
+            })
+            .map(|ev| ev.until())
+            .max()
+    }
+}
+
+/// Outcome of a bounded-backoff recovery loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Recovery {
+    /// Whether the operation eventually went through. `false` means the
+    /// retry budget was exhausted and the caller must escalate
+    /// (device path: mark needs-reset and re-handshake).
+    pub recovered: bool,
+    /// Retry attempts consumed (0 if the first re-check succeeded).
+    pub attempts: u32,
+    /// Total virtual time spent waiting (backoff delays + re-attempt
+    /// costs). The caller adds this to its operation latency.
+    pub waited: SimDuration,
+}
+
+impl Recovery {
+    /// An immediate success: nothing was blocking.
+    pub const CLEAR: Recovery = Recovery {
+        recovered: true,
+        attempts: 0,
+        waited: SimDuration::ZERO,
+    };
+}
+
+/// Deterministic counters describing what a plan did to a run.
+///
+/// All maps are `BTreeMap` so [`FaultStats::to_text`] renders in a
+/// stable order — the fault-matrix CI job compares this text byte for
+/// byte across runs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultStats {
+    /// Name of the armed plan.
+    pub plan: String,
+    /// Operations affected, keyed by `"site/kind"`.
+    pub injected: BTreeMap<String, u64>,
+    /// Backoff retries spent, keyed by site.
+    pub retries: BTreeMap<String, u64>,
+    /// Retry loops that cleared, keyed by site.
+    pub recovered: BTreeMap<String, u64>,
+    /// Retry budgets exhausted → escalated to reset, keyed by site.
+    pub escalated: BTreeMap<String, u64>,
+    /// Escalations resolved by reset + re-handshake, keyed by site.
+    pub resets: BTreeMap<String, u64>,
+    /// Inflight chains replayed after a reset, keyed by site.
+    pub replayed: BTreeMap<String, u64>,
+    /// Operations shed under brownout (graceful degradation), keyed by
+    /// site.
+    pub shed: BTreeMap<String, u64>,
+    /// Extra latency absorbed without retries, keyed by site (ns).
+    pub degraded_ns: BTreeMap<String, u64>,
+}
+
+impl FaultStats {
+    fn new(plan: &str) -> Self {
+        FaultStats {
+            plan: plan.to_string(),
+            ..FaultStats::default()
+        }
+    }
+
+    fn bump(map: &mut BTreeMap<String, u64>, key: impl Into<String>, delta: u64) {
+        *map.entry(key.into()).or_insert(0) += delta;
+    }
+
+    /// Total operations affected by any fault.
+    pub fn injected_total(&self) -> u64 {
+        self.injected.values().sum()
+    }
+
+    /// `true` when every escalation was resolved by a completed reset —
+    /// i.e. no fault left a device wedged. Retry-recovered and shed
+    /// operations count as recovered by definition (shedding *is* the
+    /// brownout policy).
+    pub fn all_recovered(&self) -> bool {
+        let escalated: u64 = self.escalated.values().sum();
+        let resets: u64 = self.resets.values().sum();
+        escalated <= resets
+    }
+
+    /// Stable multi-line rendering for logs and CI comparison.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "fault stats (plan \"{}\"):", self.plan);
+        let section = |out: &mut String, title: &str, map: &BTreeMap<String, u64>| {
+            if map.is_empty() {
+                return;
+            }
+            let _ = writeln!(out, "  {title}:");
+            for (key, value) in map {
+                let _ = writeln!(out, "    {key}: {value}");
+            }
+        };
+        section(&mut out, "injected", &self.injected);
+        section(&mut out, "retries", &self.retries);
+        section(&mut out, "recovered", &self.recovered);
+        section(&mut out, "escalated", &self.escalated);
+        section(&mut out, "resets", &self.resets);
+        section(&mut out, "replayed", &self.replayed);
+        section(&mut out, "shed", &self.shed);
+        section(&mut out, "degraded-ns", &self.degraded_ns);
+        let _ = writeln!(
+            out,
+            "  recovered: {}",
+            if self.all_recovered() { "yes" } else { "NO" }
+        );
+        out
+    }
+}
+
+/// Arms the injector with `plan`, seeding backoff jitter from `seed`.
+/// Replaces any previously armed plan and resets its statistics.
+pub fn arm(plan: FaultPlan, seed: u64) {
+    let mut guard = state();
+    *guard = Some(Injector::new(plan, seed));
+    ARMED.store(true, Ordering::SeqCst);
+}
+
+/// Disarms the injector and returns the accumulated statistics, or
+/// `None` if nothing was armed.
+pub fn disarm() -> Option<FaultStats> {
+    ARMED.store(false, Ordering::SeqCst);
+    state().take().map(|inj| inj.stats)
+}
+
+/// Whether a plan is currently armed. Injection sites use this as the
+/// zero-cost fast path.
+#[inline]
+pub fn is_armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// A snapshot of the current statistics without disarming.
+pub fn stats() -> Option<FaultStats> {
+    if !is_armed() {
+        return None;
+    }
+    state().as_ref().map(|inj| inj.stats.clone())
+}
+
+/// Name of the armed plan, if any.
+pub fn armed_plan_name() -> Option<String> {
+    if !is_armed() {
+        return None;
+    }
+    state().as_ref().map(|inj| inj.plan.name.clone())
+}
+
+/// If a blocking window fault covers `now` at `site`, returns when the
+/// latest such window ends and records one affected operation.
+pub fn blocking_until(site: FaultSite, now: SimTime) -> Option<SimTime> {
+    if !is_armed() {
+        return None;
+    }
+    let mut guard = state();
+    let inj = guard.as_mut()?;
+    let until = inj.blocking_until(site, now)?;
+    let kind = inj
+        .plan
+        .events()
+        .iter()
+        .find(|ev| ev.site == site && ev.covers(now) && ev.until() == until)
+        .map(|ev| ev.kind)
+        .unwrap_or(FaultKind::LinkFlap);
+    let key = format!("{}/{}", site.name(), kind.name());
+    FaultStats::bump(&mut inj.stats.injected, key, 1);
+    Some(until)
+}
+
+/// Combined latency multiplier from spike/brownout windows active at
+/// `now` for `site` (product of factors; `1.0` when clear). Records one
+/// affected operation per active window.
+pub fn latency_factor(site: FaultSite, now: SimTime) -> f64 {
+    if !is_armed() {
+        return 1.0;
+    }
+    let mut guard = state();
+    let Some(inj) = guard.as_mut() else {
+        return 1.0;
+    };
+    let mut factor = 1.0;
+    let mut hits = Vec::new();
+    for ev in inj.plan.events() {
+        if ev.site == site && ev.covers(now) && ev.kind.uses_factor() {
+            factor *= ev.factor;
+            hits.push(format!("{}/{}", site.name(), ev.kind.name()));
+        }
+    }
+    for key in hits {
+        FaultStats::bump(&mut inj.stats.injected, key, 1);
+    }
+    factor
+}
+
+/// Whether a descriptor-corruption window covers `now` at `site`.
+/// Records one affected operation when it does.
+pub fn corrupted(site: FaultSite, now: SimTime) -> bool {
+    if !is_armed() {
+        return false;
+    }
+    let mut guard = state();
+    let Some(inj) = guard.as_mut() else {
+        return false;
+    };
+    let hit = inj
+        .plan
+        .events()
+        .iter()
+        .any(|ev| ev.site == site && ev.covers(now) && ev.kind == FaultKind::DescriptorCorrupt);
+    if hit {
+        let key = format!("{}/{}", site.name(), FaultKind::DescriptorCorrupt.name());
+        FaultStats::bump(&mut inj.stats.injected, key, 1);
+    }
+    hit
+}
+
+/// Fires a one-shot fault (`DroppedDoorbell`, `PowerLoss`) the first
+/// time it is polled at or after its trigger time, returning the
+/// outage duration the recovery must ride out (the longest, if several
+/// events fire at once). Subsequent polls return `None`: the event is
+/// consumed, keeping recovery exactly-once and the trace deterministic.
+pub fn take_oneshot(site: FaultSite, kind: FaultKind, now: SimTime) -> Option<SimDuration> {
+    if !is_armed() || !kind.is_oneshot() {
+        return None;
+    }
+    let mut guard = state();
+    let inj = guard.as_mut()?;
+    let mut outage = None;
+    let mut keys = Vec::new();
+    for (idx, ev) in inj.plan.events().iter().enumerate() {
+        if ev.site == site && ev.kind == kind && !inj.consumed[idx] && now >= ev.at {
+            inj.consumed[idx] = true;
+            outage = Some(outage.unwrap_or(SimDuration::ZERO).max(ev.duration));
+            keys.push(format!("{}/{}", site.name(), kind.name()));
+        }
+    }
+    for key in keys {
+        FaultStats::bump(&mut inj.stats.injected, key, 1);
+    }
+    outage
+}
+
+/// Runs the bounded-backoff recovery loop for a blocking fault at
+/// `site`, starting at `now`. Each attempt costs `attempt_cost` (the
+/// price of re-issuing the operation) plus a jittered backoff delay
+/// drawn from the injector RNG; the loop exits as soon as virtual time
+/// advances past every blocking window, or escalates after the policy's
+/// attempt budget. A telemetry span (`component "faults"`, labelled
+/// `"retry:<site>:<label>"`) covers the whole wait.
+pub fn retry_until_clear(
+    site: FaultSite,
+    label: &str,
+    now: SimTime,
+    attempt_cost: SimDuration,
+) -> Recovery {
+    if !is_armed() {
+        return Recovery::CLEAR;
+    }
+    let mut guard = state();
+    let Some(inj) = guard.as_mut() else {
+        return Recovery::CLEAR;
+    };
+    if inj.blocking_until(site, now).is_none() {
+        return Recovery::CLEAR;
+    }
+    let policy = inj.policy;
+    let mut t = now;
+    let mut attempts = 0u32;
+    let mut recovered = false;
+    while attempts < policy.max_attempts {
+        attempts += 1;
+        let delay = policy.jittered(attempts, &mut inj.rng);
+        t += delay + attempt_cost;
+        if inj.blocking_until(site, t).is_none() {
+            recovered = true;
+            break;
+        }
+    }
+    let waited = t - now;
+    let site_key = site.name().to_string();
+    FaultStats::bump(
+        &mut inj.stats.retries,
+        site_key.clone(),
+        u64::from(attempts),
+    );
+    if recovered {
+        FaultStats::bump(&mut inj.stats.recovered, site_key, 1);
+    } else {
+        FaultStats::bump(&mut inj.stats.escalated, site_key, 1);
+    }
+    drop(guard);
+    telemetry::span(
+        COMPONENT,
+        format!("retry:{}:{label}", site.name()),
+        now,
+        waited,
+    );
+    telemetry::counter("faults_retries", u64::from(attempts));
+    telemetry::timer("faults_backoff_wait", waited);
+    Recovery {
+        recovered,
+        attempts,
+        waited,
+    }
+}
+
+/// Records an escalation raised outside the retry loop (e.g. a power
+/// loss that wedges a device without any retryable operation).
+pub fn note_escalated(site: FaultSite) {
+    if !is_armed() {
+        return;
+    }
+    if let Some(inj) = state().as_mut() {
+        FaultStats::bump(&mut inj.stats.escalated, site.name().to_string(), 1);
+        telemetry::counter("faults_escalated", 1);
+    }
+}
+
+/// Records a completed reset + re-handshake that resolved an
+/// escalation at `site`.
+pub fn note_reset(site: FaultSite) {
+    if !is_armed() {
+        return;
+    }
+    if let Some(inj) = state().as_mut() {
+        FaultStats::bump(&mut inj.stats.resets, site.name().to_string(), 1);
+        telemetry::counter("faults_resets", 1);
+    }
+}
+
+/// Records `chains` inflight descriptor chains replayed after a reset.
+pub fn note_replayed(site: FaultSite, chains: u64) {
+    if !is_armed() || chains == 0 {
+        return;
+    }
+    if let Some(inj) = state().as_mut() {
+        FaultStats::bump(&mut inj.stats.replayed, site.name().to_string(), chains);
+        telemetry::counter("faults_replayed", chains);
+    }
+}
+
+/// Records one operation shed under brownout (queue-depth shedding).
+pub fn note_shed(site: FaultSite) {
+    if !is_armed() {
+        return;
+    }
+    if let Some(inj) = state().as_mut() {
+        FaultStats::bump(&mut inj.stats.shed, site.name().to_string(), 1);
+        telemetry::counter("faults_shed", 1);
+    }
+}
+
+/// Records extra latency absorbed (spike/brownout slowdown, corrupt
+/// refetches, dropped-doorbell re-notify) without a retry loop.
+pub fn note_degraded(site: FaultSite, extra: SimDuration) {
+    if !is_armed() || extra.is_zero() {
+        return;
+    }
+    if let Some(inj) = state().as_mut() {
+        FaultStats::bump(
+            &mut inj.stats.degraded_ns,
+            site.name().to_string(),
+            extra.as_nanos(),
+        );
+        telemetry::timer("faults_degraded", extra);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultEvent;
+    use std::sync::Mutex as StdMutex;
+
+    // The injector is process-global; unit tests in this binary take
+    // this lock so they never observe each other's armed plans.
+    static SERIAL: StdMutex<()> = StdMutex::new(());
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        SERIAL.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn plan_with(events: Vec<FaultEvent>) -> FaultPlan {
+        let mut plan = FaultPlan::new("test");
+        for ev in events {
+            plan.push(ev);
+        }
+        plan
+    }
+
+    fn us(n: u64) -> SimTime {
+        SimTime::from_micros(n)
+    }
+
+    #[test]
+    fn unarmed_sites_are_identity() {
+        let _g = lock();
+        disarm();
+        assert!(!is_armed());
+        assert_eq!(blocking_until(FaultSite::Pcie, us(0)), None);
+        assert_eq!(latency_factor(FaultSite::VSwitch, us(0)), 1.0);
+        assert!(!corrupted(FaultSite::Vring, us(0)));
+        assert!(take_oneshot(FaultSite::Board, FaultKind::PowerLoss, us(0)).is_none());
+        assert_eq!(
+            retry_until_clear(FaultSite::Dma, "x", us(0), SimDuration::ZERO),
+            Recovery::CLEAR
+        );
+    }
+
+    #[test]
+    fn window_faults_cover_and_clear() {
+        let _g = lock();
+        let plan = plan_with(vec![FaultEvent::window(
+            us(100),
+            FaultSite::Pcie,
+            FaultKind::LinkFlap,
+            SimDuration::from_micros(50),
+        )]);
+        arm(plan, 1);
+        assert_eq!(blocking_until(FaultSite::Pcie, us(99)), None);
+        assert_eq!(blocking_until(FaultSite::Pcie, us(100)), Some(us(150)));
+        assert_eq!(blocking_until(FaultSite::Pcie, us(149)), Some(us(150)));
+        assert_eq!(blocking_until(FaultSite::Pcie, us(150)), None);
+        // Wrong site never matches.
+        assert_eq!(blocking_until(FaultSite::Dma, us(120)), None);
+        let stats = disarm().unwrap();
+        assert_eq!(stats.injected.get("pcie/link-flap"), Some(&2));
+    }
+
+    #[test]
+    fn oneshots_fire_exactly_once() {
+        let _g = lock();
+        let plan = plan_with(vec![FaultEvent::window(
+            us(400),
+            FaultSite::Board,
+            FaultKind::PowerLoss,
+            SimDuration::from_micros(150),
+        )]);
+        arm(plan, 1);
+        assert!(take_oneshot(FaultSite::Board, FaultKind::PowerLoss, us(399)).is_none());
+        assert_eq!(
+            take_oneshot(FaultSite::Board, FaultKind::PowerLoss, us(400)),
+            Some(SimDuration::from_micros(150))
+        );
+        assert!(take_oneshot(FaultSite::Board, FaultKind::PowerLoss, us(401)).is_none());
+        disarm();
+    }
+
+    #[test]
+    fn retry_loop_outwaits_a_window_and_records_stats() {
+        let _g = lock();
+        let plan = plan_with(vec![FaultEvent::window(
+            us(0),
+            FaultSite::Dma,
+            FaultKind::DmaTimeout,
+            SimDuration::from_micros(60),
+        )]);
+        arm(plan, 9);
+        let r = retry_until_clear(FaultSite::Dma, "step5", us(0), SimDuration::from_micros(1));
+        assert!(r.recovered);
+        assert!(r.attempts >= 1);
+        assert!(r.waited >= SimDuration::from_micros(60));
+        let stats = disarm().unwrap();
+        assert_eq!(stats.recovered.get("dma"), Some(&1));
+        assert!(stats.escalated.is_empty());
+        assert!(stats.all_recovered());
+    }
+
+    #[test]
+    fn retry_loop_escalates_when_the_window_outlasts_the_budget() {
+        let _g = lock();
+        // Longer than the device-path worst case (~1.2 ms).
+        let plan = plan_with(vec![FaultEvent::window(
+            us(0),
+            FaultSite::Mailbox,
+            FaultKind::MailboxStall,
+            SimDuration::from_millis(10),
+        )]);
+        arm(plan, 9);
+        let r = retry_until_clear(FaultSite::Mailbox, "step8", us(0), SimDuration::ZERO);
+        assert!(!r.recovered);
+        assert_eq!(r.attempts, RetryPolicy::device_path().max_attempts);
+        let mut stats = disarm().unwrap();
+        assert_eq!(stats.escalated.get("mailbox"), Some(&1));
+        assert!(!stats.all_recovered());
+        // A completed reset resolves the escalation.
+        FaultStats::bump(&mut stats.resets, "mailbox".to_string(), 1);
+        assert!(stats.all_recovered());
+    }
+
+    #[test]
+    fn retry_waits_are_deterministic_per_seed() {
+        let _g = lock();
+        let run = |seed| {
+            let plan = plan_with(vec![FaultEvent::window(
+                us(0),
+                FaultSite::Pcie,
+                FaultKind::LinkFlap,
+                SimDuration::from_micros(75),
+            )]);
+            arm(plan, seed);
+            let r = retry_until_clear(FaultSite::Pcie, "reg", us(0), SimDuration::ZERO);
+            disarm();
+            r
+        };
+        assert_eq!(run(5), run(5));
+        // Different seeds draw different jitter (overwhelmingly likely).
+        assert_ne!(run(5).waited, run(6).waited);
+    }
+
+    #[test]
+    fn stats_text_is_stable_and_reports_recovery() {
+        let _g = lock();
+        let plan = plan_with(vec![FaultEvent::factor(
+            us(10),
+            FaultSite::VSwitch,
+            FaultKind::Brownout,
+            SimDuration::from_micros(100),
+            4.0,
+        )]);
+        arm(plan, 2);
+        assert_eq!(latency_factor(FaultSite::VSwitch, us(50)), 4.0);
+        note_shed(FaultSite::VSwitch);
+        note_degraded(FaultSite::VSwitch, SimDuration::from_micros(3));
+        let a = stats().unwrap().to_text();
+        let b = stats().unwrap().to_text();
+        assert_eq!(a, b);
+        assert!(a.contains("vswitch/brownout: 1"));
+        assert!(a.contains("recovered: yes"));
+        disarm();
+    }
+}

@@ -1,0 +1,155 @@
+//! Bounded exponential backoff with deterministic jitter.
+//!
+//! Every recovery path in the workspace paces its retries with a
+//! [`RetryPolicy`]: delays double from `base` up to `cap` and carry
+//! *equal jitter* — the delay for attempt *n* is drawn uniformly from
+//! `[envelope(n)/2, envelope(n)]` using the simulation RNG, so retry
+//! schedules are reproducible from the fault seed, never synchronised
+//! across retriers, and (until the cap is reached) monotone
+//! non-decreasing: the minimum of attempt *n+1* equals the maximum of
+//! attempt *n*.
+
+use bmhive_sim::{SimDuration, SimRng};
+
+/// An exponential-backoff schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// First-attempt delay (the envelope of attempt 1).
+    pub base: SimDuration,
+    /// Ceiling on any single delay.
+    pub cap: SimDuration,
+    /// Attempts before the retrier escalates (device path: declare the
+    /// device needs-reset).
+    pub max_attempts: u32,
+}
+
+impl RetryPolicy {
+    /// Creates a policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is zero, `cap < base`, or `max_attempts` is 0.
+    pub fn new(base: SimDuration, cap: SimDuration, max_attempts: u32) -> Self {
+        assert!(!base.is_zero(), "RetryPolicy: base delay must be positive");
+        assert!(cap >= base, "RetryPolicy: cap must be at least base");
+        assert!(max_attempts > 0, "RetryPolicy: need at least one attempt");
+        RetryPolicy {
+            base,
+            cap,
+            max_attempts,
+        }
+    }
+
+    /// The device-path default: 5 µs base, 80 µs cap, 16 attempts.
+    /// Sixteen capped attempts ride out any canned fault window while
+    /// keeping the first retry cheaper than one Fig. 6 exchange.
+    pub fn device_path() -> Self {
+        RetryPolicy::new(
+            SimDuration::from_micros(5),
+            SimDuration::from_micros(80),
+            16,
+        )
+    }
+
+    /// The deterministic backoff envelope for 1-based `attempt`:
+    /// `base × 2^(attempt-1)`, capped. Monotone non-decreasing in
+    /// `attempt` and bounded by `cap`.
+    pub fn envelope(&self, attempt: u32) -> SimDuration {
+        let attempt = attempt.max(1);
+        let doublings = (attempt - 1).min(32);
+        let nanos = self
+            .base
+            .as_nanos()
+            .saturating_mul(1u64 << doublings)
+            .min(self.cap.as_nanos());
+        SimDuration::from_nanos(nanos)
+    }
+
+    /// The jittered delay for 1-based `attempt`: uniform in
+    /// `[envelope/2, envelope]`, drawn from `rng`.
+    pub fn jittered(&self, attempt: u32, rng: &mut SimRng) -> SimDuration {
+        let env = self.envelope(attempt).as_nanos();
+        let half = env / 2;
+        SimDuration::from_nanos(half + rng.below(env - half + 1))
+    }
+
+    /// Worst-case total delay over all attempts (sum of envelopes) —
+    /// the longest a retrier can wait before escalating.
+    pub fn worst_case_total(&self) -> SimDuration {
+        (1..=self.max_attempts).map(|a| self.envelope(a)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_is_monotone_and_bounded() {
+        let p = RetryPolicy::device_path();
+        let mut last = SimDuration::ZERO;
+        for attempt in 1..=64 {
+            let e = p.envelope(attempt);
+            assert!(e >= last, "attempt {attempt}");
+            assert!(e >= p.base && e <= p.cap);
+            last = e;
+        }
+        assert_eq!(p.envelope(1), p.base);
+        assert_eq!(p.envelope(64), p.cap);
+    }
+
+    #[test]
+    fn jitter_stays_in_the_equal_jitter_band() {
+        let p = RetryPolicy::device_path();
+        let mut rng = SimRng::new(7);
+        for attempt in 1..=20 {
+            let env = p.envelope(attempt);
+            for _ in 0..50 {
+                let d = p.jittered(attempt, &mut rng);
+                assert!(d.as_nanos() >= env.as_nanos() / 2, "attempt {attempt}");
+                assert!(d <= env, "attempt {attempt}");
+            }
+        }
+    }
+
+    #[test]
+    fn jittered_delays_are_deterministic_per_seed() {
+        let p = RetryPolicy::device_path();
+        let draw = |seed| {
+            let mut rng = SimRng::new(seed);
+            (1..=10)
+                .map(|a| p.jittered(a, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(3), draw(3));
+        assert_ne!(draw(3), draw(4));
+    }
+
+    #[test]
+    fn jittered_is_monotone_below_the_cap() {
+        // Equal jitter on a doubling envelope: min(attempt n+1) ==
+        // max(attempt n), so consecutive delays never decrease until
+        // the cap truncates the envelope.
+        let p = RetryPolicy::new(SimDuration::from_micros(4), SimDuration::from_secs(1), 10);
+        let mut rng = SimRng::new(11);
+        let mut last = SimDuration::ZERO;
+        for attempt in 1..=9 {
+            let d = p.jittered(attempt, &mut rng);
+            assert!(d >= last, "attempt {attempt}: {d} < {last}");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn worst_case_total_covers_canned_windows() {
+        // The canned fault windows peak at 150 µs (board loss); the
+        // device-path policy must be able to out-wait them.
+        assert!(RetryPolicy::device_path().worst_case_total() > SimDuration::from_micros(300));
+    }
+
+    #[test]
+    #[should_panic(expected = "cap must be at least base")]
+    fn inverted_cap_panics() {
+        RetryPolicy::new(SimDuration::from_micros(10), SimDuration::from_micros(5), 3);
+    }
+}

@@ -1,0 +1,87 @@
+// This suite depends on the external `proptest` crate, which is not
+// vendored; it only compiles with `--features bench-deps` after the
+// proptest dev-dependency is restored in Cargo.toml.
+#![cfg(feature = "bench-deps")]
+
+//! Property-based tests for the retry/backoff policy: the invariants
+//! every recovery path leans on, over arbitrary policies and seeds.
+
+use bmhive_faults::RetryPolicy;
+use bmhive_sim::{SimDuration, SimRng};
+use proptest::prelude::*;
+
+/// Arbitrary-but-valid policies: base 1 ns – 1 ms, cap ≥ base, up to
+/// 32 attempts.
+fn policies() -> impl Strategy<Value = RetryPolicy> {
+    (1u64..1_000_000, 0u64..4_000_000, 1u32..32).prop_map(|(base, extra, attempts)| {
+        RetryPolicy::new(
+            SimDuration::from_nanos(base),
+            SimDuration::from_nanos(base + extra),
+            attempts,
+        )
+    })
+}
+
+proptest! {
+    /// The envelope never decreases with the attempt number and never
+    /// exceeds the cap.
+    #[test]
+    fn envelope_is_monotone_and_bounded(policy in policies()) {
+        let mut prev = SimDuration::ZERO;
+        for attempt in 1..=policy.max_attempts {
+            let env = policy.envelope(attempt);
+            prop_assert!(env >= prev, "attempt {attempt}: {env} < {prev}");
+            prop_assert!(env <= policy.cap);
+            prop_assert!(env >= policy.base);
+            prev = env;
+        }
+    }
+
+    /// Every jittered delay stays inside the equal-jitter band
+    /// [envelope/2, envelope].
+    #[test]
+    fn jitter_stays_in_the_equal_jitter_band(
+        policy in policies(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SimRng::new(seed);
+        for attempt in 1..=policy.max_attempts {
+            let env = policy.envelope(attempt);
+            let d = policy.jittered(attempt, &mut rng);
+            prop_assert!(d >= env / 2, "below band: {d} < {env}/2");
+            prop_assert!(d <= env, "above band: {d} > {env}");
+        }
+    }
+
+    /// The same seed always produces the same delay sequence; the
+    /// schedule is a pure function of (policy, seed).
+    #[test]
+    fn schedule_is_deterministic_per_seed(
+        policy in policies(),
+        seed in any::<u64>(),
+    ) {
+        let mut a = SimRng::new(seed);
+        let mut b = SimRng::new(seed);
+        for attempt in 1..=policy.max_attempts {
+            prop_assert_eq!(
+                policy.jittered(attempt, &mut a),
+                policy.jittered(attempt, &mut b)
+            );
+        }
+    }
+
+    /// The worst-case total bounds any real schedule: summing the
+    /// maximum of each attempt's band can never be exceeded.
+    #[test]
+    fn worst_case_total_bounds_every_schedule(
+        policy in policies(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SimRng::new(seed);
+        let mut total = SimDuration::ZERO;
+        for attempt in 1..=policy.max_attempts {
+            total += policy.jittered(attempt, &mut rng);
+        }
+        prop_assert!(total <= policy.worst_case_total());
+    }
+}

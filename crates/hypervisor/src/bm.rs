@@ -10,6 +10,7 @@
 
 use bmhive_cloud::blockstore::{BlockStore, IoKind};
 use bmhive_cloud::limits::InstanceLimits;
+use bmhive_faults::{self as faults, FaultKind, FaultSite};
 use bmhive_iobond::{IoBondDevice, IoBondProfile, StagingPool};
 use bmhive_mem::{GuestAddr, GuestRam, SgSegment};
 use bmhive_net::{MacAddr, Packet, PacketKind};
@@ -96,6 +97,16 @@ pub struct EgressPacket {
     pub at: SimTime,
 }
 
+/// Outcome of one board power-loss recovery (see
+/// [`BmGuestSession::poll_faults`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoardOutage {
+    /// When both devices were re-handshaken and live again.
+    pub recovered_at: SimTime,
+    /// Chains that were inflight at the loss and replayed after it.
+    pub replayed_chains: u64,
+}
+
 /// One bm-guest with its dedicated bm-hypervisor process.
 #[derive(Debug)]
 pub struct BmGuestSession {
@@ -115,6 +126,10 @@ pub struct BmGuestSession {
     rx_pool: StagingPool,
     blk_pool: StagingPool,
     limits: InstanceLimits,
+    /// Where the next recovery epoch's shadow rings go in base RAM
+    /// (each reset rebuilds at a fresh region, like a fresh mmap in a
+    /// restarted backend process).
+    next_base_region: GuestAddr,
     /// rx guest heads → their buffer slot, for reuse after delivery.
     rx_posted: HashMap<u16, bmhive_mem::SgList>,
     /// tx guest heads → their buffer slot.
@@ -191,12 +206,11 @@ impl BmGuestSession {
             .driver_handshake(&[blk_layout]);
 
         // Shadow rings + staging pools in the backend's base RAM.
-        let used = net_dev
-            .activate(&mut base, GuestAddr::new(0x100_000))
-            .expect("net activate");
-        blk_dev
-            .activate(&mut base, (GuestAddr::new(0x100_000) + used).align_up(4096))
-            .expect("blk activate");
+        let net_base = GuestAddr::new(0x100_000);
+        let used = net_dev.activate(&mut base, net_base).expect("net activate");
+        let blk_base = (net_base + used).align_up(4096);
+        let blk_used = blk_dev.activate(&mut base, blk_base).expect("blk activate");
+        let next_base_region = (blk_base + blk_used).align_up(4096);
 
         let net_rx_backend = Virtqueue::new(net_dev.shadow(RX_Q).expect("active").shadow_layout());
         let net_tx_backend = Virtqueue::new(net_dev.shadow(TX_Q).expect("active").shadow_layout());
@@ -236,6 +250,7 @@ impl BmGuestSession {
             rx_pool,
             blk_pool,
             limits,
+            next_base_region,
             rx_posted: HashMap::new(),
             tx_posted: HashMap::new(),
             blk_posted: HashMap::new(),
@@ -260,6 +275,89 @@ impl BmGuestSession {
     /// Packets sent / received / block ops completed so far.
     pub fn counters(&self) -> (u64, u64, u64) {
         (self.total_tx, self.total_rx, self.total_io)
+    }
+
+    /// Register accesses a full virtio re-handshake costs per device:
+    /// status dance, feature negotiation, and per-queue programming.
+    const HANDSHAKE_REGISTER_HOPS: u64 = 24;
+
+    /// Checks the armed fault plan for a compute-board power loss and,
+    /// if one fires at `now`, runs the full recovery path: both IO-Bond
+    /// functions are flagged needs-reset, re-handshaken at a fresh base
+    /// region once power returns, the poll-mode backends are rebuilt
+    /// from the new shadow rings, and every inflight chain is replayed.
+    ///
+    /// Returns `None` when no plan is armed or no power loss fires.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a device cannot complete its recovery handshake.
+    pub fn poll_faults(&mut self, now: SimTime) -> Result<Option<BoardOutage>, SessionError> {
+        if !faults::is_armed() {
+            return Ok(None);
+        }
+        let Some(outage) = faults::take_oneshot(FaultSite::Board, FaultKind::PowerLoss, now) else {
+            return Ok(None);
+        };
+
+        // The board browned out: both functions lose their backend
+        // epoch and latch DEVICE_NEEDS_RESET.
+        self.net_dev.mark_backend_failed();
+        self.blk_dev.mark_backend_failed();
+        debug_assert!(self.net_dev.needs_reset() && self.blk_dev.needs_reset());
+
+        // Recovery can only start once power is back.
+        let restart = now + outage;
+        let net_base = self.next_base_region;
+        let net_report = self
+            .net_dev
+            .recover_from_backend_failure(&mut self.base, net_base)?;
+        let blk_base = (net_base + net_report.base_bytes).align_up(4096);
+        let blk_report = self
+            .blk_dev
+            .recover_from_backend_failure(&mut self.base, blk_base)?;
+        self.next_base_region = (blk_base + blk_report.base_bytes).align_up(4096);
+
+        // The old backend process is gone with its ring cursors; build
+        // fresh poll-mode consumers over the new shadow rings.
+        self.net_rx_backend = Virtqueue::new(
+            self.net_dev
+                .shadow(RX_Q)
+                .expect("recovered")
+                .shadow_layout(),
+        );
+        self.net_tx_backend = Virtqueue::new(
+            self.net_dev
+                .shadow(TX_Q)
+                .expect("recovered")
+                .shadow_layout(),
+        );
+        self.blk_backend =
+            Virtqueue::new(self.blk_dev.shadow(0).expect("recovered").shadow_layout());
+
+        faults::note_reset(FaultSite::Board);
+        faults::note_reset(FaultSite::Board);
+        faults::note_degraded(FaultSite::Board, outage);
+
+        // Each device replays the full register-level handshake over
+        // the guest link before it is live again.
+        let handshake = self.profile.guest_register_access() * 2 * Self::HANDSHAKE_REGISTER_HOPS;
+        let recovered_at = restart + handshake;
+        let replayed_chains = net_report.replayed_chains + blk_report.replayed_chains;
+        if telemetry::is_enabled() {
+            telemetry::span(
+                "bm",
+                "board_recovery",
+                now,
+                recovered_at.saturating_duration_since(now),
+            );
+            telemetry::counter("bm.board_resets", 1);
+            telemetry::counter("bm.replayed_chains", replayed_chains);
+        }
+        Ok(Some(BoardOutage {
+            recovered_at,
+            replayed_chains,
+        }))
     }
 
     /// Keeps the rx ring stocked with buffers, as a net driver's NAPI
@@ -835,6 +933,88 @@ mod tests {
         }
         let (tx, rx, io) = s.counters();
         assert_eq!((tx, rx, io), (200, 200, 200));
+    }
+
+    #[test]
+    fn poll_faults_is_inert_without_a_plan() {
+        let _guard = crate::fault_test_lock();
+        let mut s = session();
+        assert!(s.poll_faults(SimTime::from_micros(500)).unwrap().is_none());
+    }
+
+    #[test]
+    fn board_power_loss_recovers_both_devices_and_replays_rx() {
+        let _guard = crate::fault_test_lock();
+        let mut s = session();
+        // Prime the session: one send syncs the rings, leaving the
+        // posted rx buffers inflight in the shadow ring.
+        s.net_send(
+            MacAddr::for_guest(2),
+            PacketKind::Udp,
+            b"pre",
+            SimTime::ZERO,
+        )
+        .unwrap();
+
+        let plan = faults::canned("board-loss").unwrap();
+        faults::arm(plan, 11);
+        // Before the 400 µs loss: nothing fires.
+        assert!(s.poll_faults(SimTime::from_micros(100)).unwrap().is_none());
+        // At 405 µs the power loss fires; recovery spans the 150 µs
+        // outage plus both re-handshakes.
+        let outage = s
+            .poll_faults(SimTime::from_micros(405))
+            .unwrap()
+            .expect("power loss fires");
+        assert!(outage.recovered_at >= SimTime::from_micros(405 + 150));
+        // Every posted-but-unfilled rx buffer was inflight and replays.
+        assert!(
+            outage.replayed_chains >= 60,
+            "replayed {}",
+            outage.replayed_chains
+        );
+        // One-shot: polling again does nothing.
+        assert!(s.poll_faults(outage.recovered_at).unwrap().is_none());
+
+        // The recovered session still does real I/O through the fresh
+        // epoch: the replayed rx buffers back this delivery.
+        let (payload, _) = s.net_receive(b"after-reset", outage.recovered_at).unwrap();
+        assert_eq!(payload, b"after-reset");
+        let (egress, _) = s
+            .net_send(
+                MacAddr::for_guest(2),
+                PacketKind::Udp,
+                b"post",
+                outage.recovered_at,
+            )
+            .unwrap();
+        assert_eq!(egress.payload, b"post");
+
+        let stats = faults::disarm().expect("stats");
+        assert_eq!(stats.resets.get("board").copied().unwrap_or(0), 2);
+        assert!(stats.replayed.get("board").copied().unwrap_or(0) >= 60);
+        assert!(stats.all_recovered());
+    }
+
+    #[test]
+    fn board_recovery_is_deterministic_per_seed() {
+        let _guard = crate::fault_test_lock();
+        let run = || {
+            let mut s = session();
+            s.net_send(MacAddr::for_guest(2), PacketKind::Udp, b"x", SimTime::ZERO)
+                .unwrap();
+            faults::arm(faults::canned("board-loss").unwrap(), 23);
+            let outage = s
+                .poll_faults(SimTime::from_micros(410))
+                .unwrap()
+                .expect("fires");
+            let stats = faults::disarm().expect("stats");
+            (outage, stats.to_text())
+        };
+        let (a, ta) = run();
+        let (b, tb) = run();
+        assert_eq!(a, b);
+        assert_eq!(ta, tb);
     }
 
     #[test]

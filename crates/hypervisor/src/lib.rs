@@ -41,7 +41,7 @@ pub mod slowpath;
 pub mod upgrade;
 pub mod vm;
 
-pub use bm::BmGuestSession;
+pub use bm::{BmGuestSession, BoardOutage};
 pub use boot::{boot_guest, BootReport};
 pub use console::{ConsoleServer, VgaConsole};
 pub use migrate::{convert_to_bm, convert_to_vm, GuestOs, MigrationError, MigrationPolicy};
@@ -51,3 +51,13 @@ pub use precopy::{PrecopyModel, PrecopyPlan};
 pub use slowpath::NetBackendPath;
 pub use upgrade::{BackendProcess, BackendState, UpgradeReport};
 pub use vm::VmGuestSession;
+
+/// The fault injector is process-global; unit tests across this
+/// crate's modules that arm plans serialise on this lock.
+#[cfg(test)]
+pub(crate) static FAULT_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[cfg(test)]
+pub(crate) fn fault_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    FAULT_TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}

@@ -9,10 +9,11 @@
 use crate::pool::StagingPool;
 use crate::profile::IoBondProfile;
 use crate::shadow::{GuestCompletion, ShadowQueue, SyncReport};
+use bmhive_faults::{self as faults, FaultKind, FaultSite};
 use bmhive_mem::{GuestAddr, GuestRam};
 use bmhive_pcie::{ConfigSpace, MsiQueue, PciDevice};
 use bmhive_sim::{SimDuration, SimTime};
-use bmhive_virtio::{DeviceType, QueueLayout, VirtioError, VirtioPciFunction};
+use bmhive_virtio::{status, DeviceType, QueueLayout, VirtioError, VirtioPciFunction};
 
 /// What one service pass did.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -21,6 +22,16 @@ pub struct ServiceReport {
     pub tx: Vec<SyncReport>,
     /// Completions delivered to the guest (MSIs raised).
     pub completions: Vec<GuestCompletion>,
+}
+
+/// What a needs-reset recovery accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Base memory consumed by the new shadow rings and staging pools.
+    pub base_bytes: u64,
+    /// Guest chains that were in flight at the failure and will be
+    /// re-popped (replayed) by the next service pass.
+    pub replayed_chains: u64,
 }
 
 /// One emulated virtio function bridged by IO-Bond.
@@ -189,6 +200,85 @@ impl IoBondDevice {
         }
     }
 
+    /// The backend serving this device died (bm-hypervisor process
+    /// crash, compute-board power loss): flag DEVICE_NEEDS_RESET and
+    /// raise the config-change interrupt so the guest driver starts
+    /// recovery. The shadow state is kept until
+    /// [`recover_from_backend_failure`](Self::recover_from_backend_failure)
+    /// captures what must be replayed.
+    pub fn mark_backend_failed(&mut self) {
+        self.function.state_mut().mark_needs_reset();
+        self.function.raise_config_isr();
+    }
+
+    /// Whether the device is flagged as needing a reset.
+    pub fn needs_reset(&self) -> bool {
+        self.function.state().device_status() & status::DEVICE_NEEDS_RESET != 0
+    }
+
+    /// The full needs-reset recovery path: capture the guest rings'
+    /// progress, reset the function, replay the driver handshake with
+    /// the same queue layouts, rebuild the shadow queues at
+    /// `base_region`, and restore the guest-side cursors so every chain
+    /// that was posted but never completed is re-popped — inflight
+    /// replay, exactly once.
+    ///
+    /// The caller owns the backend side: its shadow-ring [`Virtqueue`]s
+    /// must be rebuilt from the new layouts (the old backend process is
+    /// gone, which is why recovery was needed).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the device was never activated or base RAM is too
+    /// small for the new epoch.
+    ///
+    /// [`Virtqueue`]: bmhive_virtio::Virtqueue
+    pub fn recover_from_backend_failure(
+        &mut self,
+        base: &mut GuestRam,
+        base_region: GuestAddr,
+    ) -> Result<RecoveryReport, VirtioError> {
+        // Capture the old epoch: layouts and per-queue ring progress.
+        let mut layouts = Vec::with_capacity(self.shadows.len());
+        let mut cursors = Vec::with_capacity(self.shadows.len());
+        let mut replayed = 0u64;
+        for (i, slot) in self.shadows.iter().enumerate() {
+            let shadow = slot.as_ref().ok_or(VirtioError::BadIndirect(
+                "recovery on a device that was never activated",
+            ))?;
+            let layout = self
+                .function
+                .state()
+                .queue(i as u16)
+                .layout()
+                .ok_or(VirtioError::BadIndirect("queue lost its layout"))?;
+            let vq = shadow.guest_vq();
+            layouts.push(layout);
+            cursors.push(vq.used_idx());
+            replayed += u64::from(vq.last_avail_idx().wrapping_sub(vq.used_idx()));
+        }
+
+        // Reset + re-handshake + rebuild, as the guest driver's
+        // config-change handler would.
+        self.deactivate();
+        self.function.state_mut().set_device_status(0);
+        self.function.state_mut().driver_handshake(&layouts);
+        let base_bytes = self.activate(base, base_region)?;
+
+        // Inflight replay: rewind each fresh guest-side cursor to the
+        // old used index, so [used, avail) pops again.
+        for (slot, &used) in self.shadows.iter_mut().zip(&cursors) {
+            slot.as_mut()
+                .expect("just activated")
+                .restore_guest_cursors(used, used);
+        }
+        faults::note_replayed(FaultSite::Board, replayed);
+        Ok(RecoveryReport {
+            base_bytes,
+            replayed_chains: replayed,
+        })
+    }
+
     /// Borrows queue `q`'s shadow pairing (None before activation).
     pub fn shadow(&self, q: usize) -> Option<&ShadowQueue> {
         self.shadows.get(q).and_then(|s| s.as_ref())
@@ -210,6 +300,15 @@ impl IoBondDevice {
         // Doorbells tell us which queues are hot, but a hardware bridge
         // scans its queues regardless; we drain them for bookkeeping.
         let _ = self.function.take_notifications();
+        // A dropped doorbell delays the pass until IO-Bond's periodic
+        // ring scan notices the unserviced avail index.
+        let now = match faults::take_oneshot(FaultSite::Doorbell, FaultKind::DroppedDoorbell, now) {
+            Some(outage) => {
+                faults::note_degraded(FaultSite::Doorbell, outage);
+                now + outage
+            }
+            None => now,
+        };
         let mut report = ServiceReport::default();
         for (i, slot) in self.shadows.iter_mut().enumerate() {
             let Some(shadow) = slot.as_mut() else {
@@ -360,6 +459,62 @@ mod tests {
         r.dev.deactivate();
         assert!(!r.dev.is_active());
         assert!(r.dev.shadow(0).is_none());
+    }
+
+    #[test]
+    fn backend_failure_recovery_replays_inflight_chains() {
+        let mut r = rig();
+        // Chain staged into the shadow ring, never completed: the
+        // backend dies with it in flight.
+        r.board.write(GuestAddr::new(0x8000), b"lost?").unwrap();
+        let head = r
+            .tx_driver
+            .add_buf(
+                &mut r.board,
+                &[SgSegment::new(GuestAddr::new(0x8000), 5)],
+                &[],
+            )
+            .unwrap();
+        r.dev
+            .service(&mut r.board, &mut r.base, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(r.dev.shadow(1).unwrap().inflight_guest_heads(), vec![head]);
+
+        r.dev.mark_backend_failed();
+        assert!(r.dev.needs_reset());
+
+        let report = r
+            .dev
+            .recover_from_backend_failure(&mut r.base, GuestAddr::new(0x300_0000))
+            .unwrap();
+        assert_eq!(report.replayed_chains, 1);
+        assert!(!r.dev.needs_reset());
+        assert!(r.dev.is_active());
+
+        // The next service pass re-stages the chain; a fresh backend
+        // completes it and the guest sees exactly one completion.
+        r.dev
+            .service(&mut r.board, &mut r.base, SimTime::from_micros(1))
+            .unwrap();
+        let mut backend = Virtqueue::new(r.dev.shadow(1).unwrap().shadow_layout());
+        let chain = backend.pop_avail(&r.base).unwrap().unwrap();
+        assert_eq!(chain.readable.gather(&r.base).unwrap(), b"lost?");
+        backend.push_used(&mut r.base, chain.head, 0).unwrap();
+        r.dev
+            .service(&mut r.board, &mut r.base, SimTime::from_micros(2))
+            .unwrap();
+        assert_eq!(r.tx_driver.poll_used(&r.board).unwrap(), Some((head, 0)));
+        assert_eq!(r.tx_driver.poll_used(&r.board).unwrap(), None);
+    }
+
+    #[test]
+    fn recovery_before_activation_is_an_error() {
+        let mut base = GuestRam::new(1 << 20);
+        let mut dev =
+            IoBondDevice::new(IoBondProfile::fpga(), DeviceType::Block, 0, 16, vec![0; 24]);
+        assert!(dev
+            .recover_from_backend_failure(&mut base, GuestAddr::new(0x1000))
+            .is_err());
     }
 
     #[test]

@@ -27,6 +27,7 @@
 
 use crate::pool::StagingPool;
 use crate::profile::IoBondProfile;
+use bmhive_faults::{self as faults, FaultSite};
 use bmhive_mem::{GuestRam, SgList};
 use bmhive_sim::{SimDuration, SimTime};
 use bmhive_telemetry as telemetry;
@@ -266,10 +267,31 @@ impl ShadowQueue {
             }
         };
 
+        // Descriptor fetch: a corruption window makes the fetched
+        // table fail its check, forcing one refetch.
+        let mut now = now;
+        if faults::corrupted(FaultSite::Vring, now) {
+            let refetch = self.profile.dma().transfer_time(16);
+            faults::note_degraded(FaultSite::Vring, refetch);
+            now += refetch;
+        }
+
         // DMA the readable payload board → base.
         let mut moved = 0u64;
         let mut finish = now;
         if r_len > 0 {
+            // A DMA-timeout window stalls the engine: the per-step
+            // timeout fires and the transfer retries with backoff.
+            if faults::blocking_until(FaultSite::Dma, now).is_some() {
+                let timeout = crate::steps::DMA_STEP_TIMEOUT;
+                let recovery = faults::retry_until_clear(
+                    FaultSite::Dma,
+                    "stage_chain",
+                    now + timeout,
+                    self.profile.dma().transfer_time(r_len),
+                );
+                now += timeout + recovery.waited;
+            }
             let (n, cost) = self
                 .profile
                 .dma()
@@ -332,6 +354,18 @@ impl ShadowQueue {
             let mut finish = dma_free;
             let written = written.min(inflight.staging_writable.total_len() as u32);
             if written > 0 {
+                // Copy-back rides the same DMA engine: a timeout window
+                // stalls it and the transfer retries with backoff.
+                if faults::blocking_until(FaultSite::Dma, dma_free).is_some() {
+                    let timeout = crate::steps::DMA_STEP_TIMEOUT;
+                    let recovery = faults::retry_until_clear(
+                        FaultSite::Dma,
+                        "copy_back",
+                        dma_free + timeout,
+                        self.profile.dma().transfer_time(u64::from(written)),
+                    );
+                    dma_free += timeout + recovery.waited;
+                }
                 // Copy only the bytes the backend produced.
                 let (src, _) = inflight.staging_writable.split_at(u64::from(written));
                 let (dst, _) = inflight
@@ -378,6 +412,25 @@ impl ShadowQueue {
     /// The guest-side virtqueue (device view), for inspection.
     pub fn guest_vq(&self) -> &Virtqueue {
         &self.guest_vq
+    }
+
+    /// Guest heads of the chains currently in flight, sorted — the
+    /// chains a backend failure would strand, and the ones a recovery
+    /// must replay.
+    pub fn inflight_guest_heads(&self) -> Vec<u16> {
+        let mut heads: Vec<u16> = self.inflight.values().map(|i| i.guest_head).collect();
+        heads.sort_unstable();
+        heads
+    }
+
+    /// Restores the guest-side virtqueue cursors after a device reset.
+    ///
+    /// Setting both cursors to the pre-failure *used* index makes the
+    /// fresh epoch re-pop every chain the guest had posted but never
+    /// saw completed — inflight replay — while chains completed before
+    /// the failure stay completed.
+    pub fn restore_guest_cursors(&mut self, last_avail_idx: u16, used_idx: u16) {
+        self.guest_vq.restore_cursors(last_avail_idx, used_idx);
     }
 
     /// Total DMA-engine busy time so far.

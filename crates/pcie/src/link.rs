@@ -12,7 +12,8 @@
 //! * §6 projects an ASIC implementation cutting the register access from
 //!   0.8 µs to 0.2 µs.
 
-use bmhive_sim::SimDuration;
+use bmhive_faults::{self as faults, FaultSite};
+use bmhive_sim::{SimDuration, SimTime};
 
 /// PCIe generation, which fixes the per-lane data rate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -115,6 +116,32 @@ impl PcieLink {
         self.register_latency
     }
 
+    /// Fault-aware register access at virtual time `now`.
+    ///
+    /// With no fault plan armed this is exactly
+    /// [`register_access`](Self::register_access). Under an armed plan,
+    /// a link flap covering `now` makes the access fail until the link
+    /// retrains — the requester retries with bounded backoff and the
+    /// wait is added to the access — and an active hop-latency spike
+    /// multiplies the register latency by the plan's factor.
+    pub fn register_access_at(&self, now: SimTime) -> SimDuration {
+        if !faults::is_armed() {
+            return self.register_latency;
+        }
+        let mut total = SimDuration::ZERO;
+        if faults::blocking_until(FaultSite::Pcie, now).is_some() {
+            let recovery =
+                faults::retry_until_clear(FaultSite::Pcie, "register", now, self.register_latency);
+            total += recovery.waited;
+        }
+        let factor = faults::latency_factor(FaultSite::Pcie, now + total);
+        let access = self.register_latency.mul_f64(factor);
+        if factor > 1.0 {
+            faults::note_degraded(FaultSite::Pcie, access - self.register_latency);
+        }
+        total + access
+    }
+
     /// Time to move `bytes` of bulk payload across the link, including
     /// TLP packetisation overhead. Zero-byte transfers cost nothing.
     pub fn payload_time(&self, bytes: u64) -> SimDuration {
@@ -192,5 +219,56 @@ mod tests {
     #[should_panic(expected = "invalid lane count")]
     fn bad_lane_count_panics() {
         PcieLink::new(LinkGen::Gen3, 3, SimDuration::ZERO);
+    }
+
+    // The fault injector is process-global: tests that arm plans (or
+    // assert the unarmed identity) serialise on this lock.
+    static FAULT_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn register_access_at_is_identity_when_unarmed() {
+        let _g = FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        bmhive_faults::disarm();
+        let link = PcieLink::iobond_fpga_x4();
+        assert_eq!(
+            link.register_access_at(SimTime::from_micros(5)),
+            link.register_access()
+        );
+    }
+
+    #[test]
+    fn link_flap_and_spike_inflate_register_access() {
+        let _g = FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let mut plan = bmhive_faults::FaultPlan::new("pcie-test");
+        plan.push(bmhive_faults::FaultEvent::window(
+            SimTime::from_micros(100),
+            FaultSite::Pcie,
+            bmhive_faults::FaultKind::LinkFlap,
+            SimDuration::from_micros(30),
+        ));
+        plan.push(bmhive_faults::FaultEvent::factor(
+            SimTime::from_micros(500),
+            FaultSite::Pcie,
+            bmhive_faults::FaultKind::LatencySpike,
+            SimDuration::from_micros(50),
+            4.0,
+        ));
+        bmhive_faults::arm(plan, 3);
+        let link = PcieLink::iobond_fpga_x4();
+        // Before any window: untouched.
+        assert_eq!(
+            link.register_access_at(SimTime::from_micros(50)),
+            link.register_access()
+        );
+        // During the flap: the retry wait must at least cover the window.
+        let flapped = link.register_access_at(SimTime::from_micros(110));
+        assert!(flapped >= SimDuration::from_micros(20) + link.register_access());
+        // During the spike: 4× the base latency.
+        let spiked = link.register_access_at(SimTime::from_micros(520));
+        assert_eq!(spiked, link.register_access().mul_f64(4.0));
+        let stats = bmhive_faults::disarm().unwrap();
+        assert!(stats.injected.contains_key("pcie/link-flap"));
+        assert!(stats.injected.contains_key("pcie/latency-spike"));
+        assert!(stats.all_recovered());
     }
 }

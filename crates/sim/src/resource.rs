@@ -141,6 +141,16 @@ impl MultiResource {
         Served { start, end }
     }
 
+    /// When the next server comes free — the start time the next job
+    /// would get. Lets admission control estimate queueing delay
+    /// without consuming a server.
+    pub fn next_free(&self) -> SimTime {
+        self.free_at
+            .peek()
+            .map(|Reverse(t)| *t)
+            .expect("pool is never empty")
+    }
+
     /// Total service time delivered across all servers.
     pub fn busy_time(&self) -> SimDuration {
         self.busy

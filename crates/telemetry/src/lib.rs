@@ -20,7 +20,7 @@
 //! # The global collector
 //!
 //! Instrumentation in the other crates records through the free
-//! functions here ([`span`], [`counter`], [`timer`], …), which funnel
+//! functions here ([`span()`], [`counter`], [`timer`], …), which funnel
 //! into one process-global collector. It is **off by default**: every
 //! record function first checks one relaxed atomic and returns
 //! immediately, so benches and tests that never call

@@ -51,24 +51,62 @@ fn device_reset_clears_and_reactivates() {
 
 #[test]
 fn backend_failure_marks_device_needs_reset() {
+    // The per-guest bm-hypervisor process dies with one chain posted
+    // but never completed; recovery must flag the device, re-handshake
+    // a fresh epoch, and replay exactly that chain.
+    let mut board = GuestRam::new(1 << 20);
+    let mut base = GuestRam::new(64 << 20);
     let mut dev = IoBondDevice::new(IoBondProfile::fpga(), DeviceType::Net, 0, 16, vec![0; 12]);
-    // The per-guest bm-hypervisor process dies; the control plane flags
-    // the device.
-    dev.function_mut().mark_needs_reset_for_test();
-}
+    // A net function has an rx and a tx queue; both must be configured.
+    let layout = QueueLayout::contiguous(GuestAddr::new(0x1000), 16);
+    let tx_layout = QueueLayout::contiguous((layout.used + layout.footprint()).align_up(4096), 16);
+    dev.function_mut()
+        .state_mut()
+        .driver_handshake(&[layout, tx_layout]);
+    dev.activate(&mut base, GuestAddr::new(0x10_0000)).unwrap();
 
-// Extension trait so the test reads naturally; the real path is
-// `state_mut().mark_needs_reset()` + config-change ISR.
-trait NeedsResetExt {
-    fn mark_needs_reset_for_test(&mut self);
-}
+    let mut driver = VirtqueueDriver::new(&mut board, layout).unwrap();
+    board.write(GuestAddr::new(0x8000), b"inflight").unwrap();
+    let head = driver
+        .add_buf(
+            &mut board,
+            &[SgSegment::new(GuestAddr::new(0x8000), 8)],
+            &[],
+        )
+        .unwrap();
+    dev.service(&mut board, &mut base, SimTime::ZERO).unwrap();
+    assert_eq!(dev.shadow(0).unwrap().inflight_guest_heads(), vec![head]);
 
-impl NeedsResetExt for bmhive_virtio::VirtioPciFunction {
-    fn mark_needs_reset_for_test(&mut self) {
-        self.state_mut().mark_needs_reset();
-        self.raise_config_isr();
-        assert!(self.state().device_status() & bmhive_virtio::status::DEVICE_NEEDS_RESET != 0);
-    }
+    // The backend process dies: the control plane latches needs-reset
+    // and raises the config-change interrupt.
+    assert!(!dev.needs_reset());
+    dev.mark_backend_failed();
+    assert!(dev.needs_reset());
+
+    // Recovery: reset + re-handshake + rebuild at a fresh base region,
+    // rewinding the guest cursors so the inflight chain replays.
+    let report = dev
+        .recover_from_backend_failure(&mut base, GuestAddr::new(0x200_0000))
+        .unwrap();
+    assert_eq!(report.replayed_chains, 1);
+    assert!(!dev.needs_reset());
+    assert!(dev.is_active());
+
+    // The replacement backend drains the fresh shadow ring: it sees
+    // the replayed chain exactly once, and the guest reaps exactly one
+    // completion.
+    dev.service(&mut board, &mut base, SimTime::from_micros(10))
+        .unwrap();
+    let mut backend = Virtqueue::new(dev.shadow(0).unwrap().shadow_layout());
+    let chain = backend.pop_avail(&base).unwrap().expect("replayed chain");
+    assert_eq!(chain.readable.gather(&base).unwrap(), b"inflight");
+    backend.push_used(&mut base, chain.head, 0).unwrap();
+    assert!(backend.pop_avail(&base).unwrap().is_none(), "exactly once");
+    dev.service(&mut board, &mut base, SimTime::from_micros(20))
+        .unwrap();
+    let (reaped, _) = driver.poll_used(&board).unwrap().expect("completion");
+    assert_eq!(reaped, head);
+    assert!(driver.poll_used(&board).unwrap().is_none());
 }
 
 #[test]

@@ -9,21 +9,36 @@
 //! cargo run -p bmhive-bench --release --bin repro -- --trace /tmp/t.json iobond
 //! cargo run -p bmhive-bench --release --bin repro -- --metrics fig11
 //! cargo run -p bmhive-bench --release --bin repro -- --faults link-flap faults
+//! cargo run -p bmhive-bench --release --bin repro -- sweep --jobs 8
+//! cargo run -p bmhive-bench --release --bin repro -- bench --out BENCH_results.json
 //! ```
 
+use bmhive_bench::harness::BenchReport;
+use bmhive_bench::sweep::{self, SweepSpec};
 use bmhive_faults as faults;
 use bmhive_telemetry as telemetry;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("sweep") => sweep_main(&args[1..]),
+        Some("bench") => bench_main(&args[1..]),
+        _ => repro_main(&args),
+    }
+}
+
+/// The classic single-pass mode: render the requested experiments once.
+fn repro_main(args: &[String]) -> ExitCode {
     let mut seed = 1u64;
     let mut out_dir: Option<PathBuf> = None;
     let mut trace_path: Option<PathBuf> = None;
     let mut metrics = false;
     let mut fault_plan: Option<String> = None;
     let mut requested: Vec<String> = Vec::new();
-    let mut args = std::env::args().skip(1);
+    let mut args = args.iter().cloned();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--seed" => match args.next().and_then(|s| s.parse().ok()) {
@@ -94,7 +109,7 @@ fn main() -> ExitCode {
     // Arm the fault plan (if any) before the first experiment, so the
     // whole run is injected and recovered deterministically in `seed`.
     if let Some(arg) = &fault_plan {
-        match resolve_fault_plan(arg) {
+        match sweep::resolve_plan(arg) {
             Ok(plan) => faults::arm(plan, seed),
             Err(e) => {
                 eprintln!("{e}");
@@ -175,6 +190,274 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `repro sweep`: the (experiment × seed × plan) cross product, in
+/// parallel, byte-identical to the serial order.
+fn sweep_main(args: &[String]) -> ExitCode {
+    let mut spec = SweepSpec::full_matrix();
+    let mut out_dir: Option<PathBuf> = None;
+    let mut experiments: Vec<String> = Vec::new();
+    let mut args = args.iter().cloned();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) => spec.jobs = n,
+                None => {
+                    eprintln!("--jobs requires an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seeds" => match args.next().map(|s| parse_seed_list(&s)) {
+                Some(Ok(seeds)) => spec.seeds = seeds,
+                _ => {
+                    eprintln!("--seeds requires a comma-separated integer list, e.g. 1,2,3,4");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--plans" => match args.next() {
+                Some(list) => spec.plans = parse_plan_list(&list),
+                None => {
+                    eprintln!(
+                        "--plans requires a comma-separated list of plan names/files; \
+                         'clean' is the un-injected run, 'all' is clean + every canned plan"
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--trace" => spec.trace = true,
+            "--out" => match args.next() {
+                Some(dir) => out_dir = Some(dir.into()),
+                None => {
+                    eprintln!("--out requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                print_sweep_help();
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown sweep flag '{other}' (see repro sweep --help)");
+                return ExitCode::FAILURE;
+            }
+            other => experiments.push(other.to_string()),
+        }
+    }
+    if !experiments.is_empty() {
+        spec.experiments = experiments;
+    }
+    if spec.trace && out_dir.is_none() {
+        eprintln!("sweep --trace needs --out DIR to write the per-cell trace files");
+        return ExitCode::FAILURE;
+    }
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create --out {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let start = Instant::now();
+    let outputs = match sweep::run_sweep(&spec) {
+        Ok(outputs) => outputs,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let wall = start.elapsed();
+
+    for out in &outputs {
+        print!("{}", sweep::render_cell(out));
+        if let Some(dir) = &out_dir {
+            let stem = out.cell.file_stem();
+            let txt = dir.join(format!("{stem}.txt"));
+            if let Err(e) = std::fs::write(&txt, sweep::render_cell(out)) {
+                eprintln!("cannot write {}: {e}", txt.display());
+                return ExitCode::FAILURE;
+            }
+            if let Some(trace) = &out.trace_json {
+                let path = dir.join(format!("{stem}.trace.json"));
+                if let Err(e) = std::fs::write(&path, trace) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    eprintln!(
+        "[sweep] {} cell(s) ({} experiment(s) x {} seed(s) x {} plan(s)) with --jobs {} in {:.3}s",
+        outputs.len(),
+        spec.experiments.len(),
+        spec.seeds.len(),
+        spec.plans.len(),
+        spec.jobs.max(1),
+        wall.as_secs_f64(),
+    );
+    ExitCode::SUCCESS
+}
+
+/// `repro bench`: time each experiment and emit/check the trajectory.
+fn bench_main(args: &[String]) -> ExitCode {
+    let mut seed = 1u64;
+    let mut repeats = 3u32;
+    let mut out_path: Option<PathBuf> = None;
+    let mut check_path: Option<PathBuf> = None;
+    let mut tolerance = 0.25f64;
+    let mut experiments: Vec<String> = Vec::new();
+    let mut args = args.iter().cloned();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => {
+                    eprintln!("--seed requires an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--repeat" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(r) => repeats = r,
+                None => {
+                    eprintln!("--repeat requires an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match args.next() {
+                Some(path) => out_path = Some(path.into()),
+                None => {
+                    eprintln!("--out requires a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--check" => match args.next() {
+                Some(path) => check_path = Some(path.into()),
+                None => {
+                    eprintln!("--check requires a baseline JSON file");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--tolerance" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(t) => tolerance = t,
+                None => {
+                    eprintln!("--tolerance requires a fraction, e.g. 0.25");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                print_bench_help();
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown bench flag '{other}' (see repro bench --help)");
+                return ExitCode::FAILURE;
+            }
+            other => experiments.push(other.to_string()),
+        }
+    }
+    if experiments.is_empty() {
+        experiments = bmhive_bench::EXPERIMENT_IDS
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+
+    let baseline = match &check_path {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(doc) => match BenchReport::from_json(&doc) {
+                Ok(report) => Some(report),
+                Err(e) => {
+                    eprintln!("cannot parse --check {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("cannot read --check {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
+    let report = match bmhive_bench::harness::run_bench(&experiments, seed, repeats) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "{:<10} | {:>12} | {:>10} | {:>14} | {:>10}",
+        "experiment", "wall ms", "events", "events/sec", "peak depth"
+    );
+    for r in &report.results {
+        println!(
+            "{:<10} | {:>12.3} | {:>10} | {:>14.0} | {:>10.1}",
+            r.experiment,
+            r.wall_ns as f64 / 1e6,
+            r.events,
+            r.events_per_sec,
+            r.peak_queue_depth
+        );
+    }
+    println!(
+        "{:<10} | {:>12.3} | (min of {} run(s), seed {})",
+        "total",
+        report.total_wall_ns() as f64 / 1e6,
+        report.repeats,
+        report.seed
+    );
+
+    if let Some(path) = &out_path {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("cannot write --out {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[bench] wrote {}", path.display());
+    }
+
+    if let Some(baseline) = &baseline {
+        let problems = report.check_against(baseline, tolerance);
+        if problems.is_empty() {
+            eprintln!(
+                "[bench] no regression vs {} at {:.0}% tolerance",
+                check_path.expect("checked above").display(),
+                tolerance * 100.0
+            );
+        } else {
+            for p in &problems {
+                eprintln!("[bench] REGRESSION: {p}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn parse_seed_list(list: &str) -> Result<Vec<u64>, ()> {
+    let seeds: Result<Vec<u64>, _> = list.split(',').map(|s| s.trim().parse()).collect();
+    match seeds {
+        Ok(seeds) if !seeds.is_empty() => Ok(seeds),
+        _ => Err(()),
+    }
+}
+
+fn parse_plan_list(list: &str) -> Vec<Option<String>> {
+    if list == "all" {
+        return SweepSpec::full_matrix().plans;
+    }
+    list.split(',')
+        .map(|s| s.trim())
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            if s == sweep::CLEAN {
+                None
+            } else {
+                Some(s.to_string())
+            }
+        })
+        .collect()
+}
+
 /// A machine-readable summary of one rendered experiment: the id, the
 /// seed, and the report body as a JSON array of lines (jq-friendly).
 fn experiment_json(id: &str, seed: u64, text: &str) -> String {
@@ -195,27 +478,14 @@ fn experiment_json(id: &str, seed: u64, text: &str) -> String {
     out
 }
 
-/// Resolves a `--faults` argument: a canned plan name first, else a
-/// JSON plan file (the format `FaultPlan::to_json` writes).
-fn resolve_fault_plan(arg: &str) -> Result<faults::FaultPlan, String> {
-    if let Some(plan) = faults::canned(arg) {
-        return Ok(plan);
-    }
-    let doc = std::fs::read_to_string(arg).map_err(|e| {
-        format!(
-            "--faults '{arg}' is neither a canned plan ({}) nor a readable file: {e}",
-            faults::CANNED_PLAN_NAMES.join(", ")
-        )
-    })?;
-    faults::FaultPlan::from_json(&doc).map_err(|e| format!("cannot parse --faults {arg}: {e}"))
-}
-
 fn print_help() {
     println!("repro — regenerate the BM-Hive paper's tables and figures");
     println!();
     println!(
         "USAGE: repro [--seed N] [--out DIR] [--trace FILE] [--metrics] [--faults PLAN] [experiment ...]"
     );
+    println!("       repro sweep [...]   parallel (experiment x seed x plan) sweep (see repro sweep --help)");
+    println!("       repro bench [...]   wall-clock benchmark trajectory (see repro bench --help)");
     println!();
     println!("  --seed N       seed for every stochastic experiment (default 1)");
     println!("  --out DIR      write each experiment as DIR/<id>.txt + DIR/<id>.json");
@@ -230,4 +500,39 @@ fn print_help() {
     println!("experiments: table1 table2 fig1 table3 fig7 fig8 fig9 fig10 fig11");
     println!("             fig12 fig13 fig14 fig15 fig16 cost nested iobond asic offload sgx");
     println!("             trading faults");
+}
+
+fn print_sweep_help() {
+    println!("repro sweep — run the (experiment x seed x fault-plan) cross product in parallel");
+    println!();
+    println!("USAGE: repro sweep [--jobs N] [--seeds LIST] [--plans LIST] [--trace] [--out DIR] [experiment ...]");
+    println!();
+    println!("  --jobs N       worker threads (default 1; output is byte-identical for any N)");
+    println!("  --seeds LIST   comma-separated seeds (default 1,2,3,4)");
+    println!("  --plans LIST   comma-separated plan names/files; 'clean' = no faults,");
+    println!("                 'all' = clean + every canned plan (the default)");
+    println!("  --trace        record a chrome trace per cell (requires --out)");
+    println!("  --out DIR      write DIR/<exp>-s<seed>-<plan>.txt (+ .trace.json with --trace)");
+    println!();
+    println!("Cells print in deterministic (experiment, seed, plan) order regardless of --jobs.");
+}
+
+fn print_bench_help() {
+    println!("repro bench — time each experiment and track the benchmark trajectory");
+    println!();
+    println!("USAGE: repro bench [--seed N] [--repeat R] [--out FILE] [--check FILE] [--tolerance F] [experiment ...]");
+    println!();
+    println!("  --seed N        seed for every experiment (default 1)");
+    println!(
+        "  --repeat R      untraced timing runs per experiment; the minimum is kept (default 3)"
+    );
+    println!("  --out FILE      write the report as JSON (e.g. BENCH_results.json)");
+    println!("  --check FILE    compare against a baseline report; per-experiment wall times are");
+    println!(
+        "                  normalized by the total-time ratio first, so a uniformly faster or"
+    );
+    println!("                  slower machine does not trip the check");
+    println!(
+        "  --tolerance F   allowed per-experiment slowdown after normalization (default 0.25)"
+    );
 }

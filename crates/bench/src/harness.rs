@@ -1,0 +1,322 @@
+//! Benchmark harness: host wall-clock timing per experiment.
+//!
+//! Where [`crate::sweep`] cares about *what* the experiments print,
+//! this module cares about *how fast* they run on the host. Each
+//! experiment is timed over `repeats` untraced runs (taking the
+//! minimum, the standard noise filter for wall-clock microbenchmarks)
+//! plus one traced run that counts telemetry spans and reads the
+//! peak I/O queue depth gauge — the three numbers the benchmark
+//! trajectory tracks: wall time, events/sec, peak queue depth.
+//!
+//! Reports serialize to a stable JSON document (`BENCH_results.json`)
+//! and compare against a checked-in baseline. Because absolute wall
+//! times differ across machines, the check first normalizes the
+//! baseline by the ratio of total wall times, then flags any single
+//! experiment whose share of the run regressed beyond the tolerance.
+
+use bmhive_faults::json::{self, Json};
+use bmhive_telemetry as telemetry;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Timing and throughput for one experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentBench {
+    /// Experiment id.
+    pub experiment: String,
+    /// Minimum wall time over the untraced repeats, in nanoseconds.
+    pub wall_ns: u64,
+    /// Telemetry spans the experiment emitted (recorded + dropped by
+    /// the ring buffer) — a deterministic proxy for simulated events.
+    pub events: u64,
+    /// `events` divided by the minimum wall time.
+    pub events_per_sec: f64,
+    /// Peak `iobond.peak_inflight` gauge during the traced run (0 for
+    /// experiments that never touch a shadow queue).
+    pub peak_queue_depth: f64,
+}
+
+/// A full benchmark run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Seed every experiment ran with.
+    pub seed: u64,
+    /// Untraced timing repeats per experiment.
+    pub repeats: u32,
+    /// One entry per experiment, in run order.
+    pub results: Vec<ExperimentBench>,
+}
+
+/// Runs the harness over `experiments` (each id must be in
+/// [`crate::EXPERIMENT_IDS`]). Telemetry on the calling thread is
+/// enabled/reset around the traced runs and left disabled.
+pub fn run_bench(experiments: &[String], seed: u64, repeats: u32) -> Result<BenchReport, String> {
+    for id in experiments {
+        if !crate::EXPERIMENT_IDS.contains(&id.as_str()) {
+            return Err(format!(
+                "unknown experiment '{id}'; known: {}",
+                crate::EXPERIMENT_IDS.join(", ")
+            ));
+        }
+    }
+    let repeats = repeats.max(1);
+    let mut results = Vec::with_capacity(experiments.len());
+    for id in experiments {
+        // Timing runs: untraced, so the telemetry fast path stays a
+        // thread-local flag check and the numbers reflect the
+        // simulator, not the collector.
+        telemetry::set_enabled(false);
+        let mut wall_ns = u64::MAX;
+        for _ in 0..repeats {
+            let start = Instant::now();
+            let _ = crate::run_experiment(id, seed).expect("validated above");
+            let elapsed = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            wall_ns = wall_ns.min(elapsed);
+        }
+        // One traced run for the deterministic counters.
+        telemetry::set_enabled(true);
+        telemetry::reset();
+        let _ = crate::run_experiment(id, seed).expect("validated above");
+        let snap = telemetry::snapshot();
+        telemetry::set_enabled(false);
+        telemetry::reset();
+        let events = snap.events.len() as u64 + snap.dropped;
+        let events_per_sec = if wall_ns > 0 {
+            events as f64 / (wall_ns as f64 / 1e9)
+        } else {
+            0.0
+        };
+        results.push(ExperimentBench {
+            experiment: id.clone(),
+            wall_ns,
+            events,
+            events_per_sec,
+            peak_queue_depth: snap.registry.gauge("iobond.peak_inflight").unwrap_or(0.0),
+        });
+    }
+    Ok(BenchReport {
+        seed,
+        repeats,
+        results,
+    })
+}
+
+impl BenchReport {
+    /// Total wall time across all experiments, in nanoseconds.
+    pub fn total_wall_ns(&self) -> u64 {
+        self.results.iter().map(|r| r.wall_ns).sum()
+    }
+
+    /// Serializes the report as stable, diff-friendly JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "{{").unwrap();
+        writeln!(out, "  \"seed\": {},", self.seed).unwrap();
+        writeln!(out, "  \"repeats\": {},", self.repeats).unwrap();
+        writeln!(out, "  \"total_wall_ns\": {},", self.total_wall_ns()).unwrap();
+        writeln!(out, "  \"experiments\": [").unwrap();
+        for (i, r) in self.results.iter().enumerate() {
+            let comma = if i + 1 < self.results.len() { "," } else { "" };
+            writeln!(
+                out,
+                "    {{\"experiment\": \"{}\", \"wall_ns\": {}, \"events\": {}, \
+                 \"events_per_sec\": {:.1}, \"peak_queue_depth\": {:.1}}}{comma}",
+                telemetry::export::json_escape(&r.experiment),
+                r.wall_ns,
+                r.events,
+                r.events_per_sec,
+                r.peak_queue_depth,
+            )
+            .unwrap();
+        }
+        writeln!(out, "  ]").unwrap();
+        writeln!(out, "}}").unwrap();
+        out
+    }
+
+    /// Parses a report previously written by [`Self::to_json`].
+    pub fn from_json(doc: &str) -> Result<BenchReport, String> {
+        let json = json::parse(doc).map_err(|e| format!("bench report: {e}"))?;
+        let num = |j: &Json, key: &str| -> Result<f64, String> {
+            j.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("bench report: missing number '{key}'"))
+        };
+        let mut results = Vec::new();
+        let entries = json
+            .get("experiments")
+            .and_then(Json::as_arr)
+            .ok_or("bench report: missing 'experiments' array")?;
+        for entry in entries {
+            results.push(ExperimentBench {
+                experiment: entry
+                    .get("experiment")
+                    .and_then(Json::as_str)
+                    .ok_or("bench report: missing 'experiment'")?
+                    .to_string(),
+                wall_ns: num(entry, "wall_ns")? as u64,
+                events: num(entry, "events")? as u64,
+                events_per_sec: num(entry, "events_per_sec")?,
+                peak_queue_depth: num(entry, "peak_queue_depth")?,
+            });
+        }
+        Ok(BenchReport {
+            seed: num(&json, "seed")? as u64,
+            repeats: num(&json, "repeats")? as u64 as u32,
+            results,
+        })
+    }
+
+    /// Compares this run against a baseline, returning one message per
+    /// regression (empty = pass).
+    ///
+    /// Wall times are machine-dependent, so the baseline's per-
+    /// experiment times are first scaled by `total(self)/total(baseline)`;
+    /// an experiment regresses when its wall time exceeds its scaled
+    /// baseline by more than `tolerance` (e.g. `0.25` = 25%) plus an
+    /// absolute slack of [`Self::ABS_SLACK_NS`] — microsecond-scale
+    /// experiments jitter past any relative bound, and a real
+    /// regression in this simulator shows up in milliseconds. This
+    /// catches one experiment getting disproportionately slower while
+    /// staying robust to an overall faster or slower machine. The
+    /// deterministic `events` counts must match exactly.
+    /// Absolute jitter allowance added on top of the relative
+    /// tolerance (1 ms).
+    pub const ABS_SLACK_NS: f64 = 1_000_000.0;
+
+    pub fn check_against(&self, baseline: &BenchReport, tolerance: f64) -> Vec<String> {
+        let mut problems = Vec::new();
+        let total = self.total_wall_ns() as f64;
+        let base_total = baseline.total_wall_ns() as f64;
+        if base_total <= 0.0 {
+            problems.push("baseline has zero total wall time".to_string());
+            return problems;
+        }
+        let scale = total / base_total;
+        for base in &baseline.results {
+            let Some(cur) = self
+                .results
+                .iter()
+                .find(|r| r.experiment == base.experiment)
+            else {
+                problems.push(format!(
+                    "experiment '{}' missing from this run",
+                    base.experiment
+                ));
+                continue;
+            };
+            if cur.events != base.events && self.seed == baseline.seed {
+                problems.push(format!(
+                    "{}: event count changed {} -> {} (seed {})",
+                    base.experiment, base.events, cur.events, self.seed
+                ));
+            }
+            let allowed = base.wall_ns as f64 * scale * (1.0 + tolerance) + Self::ABS_SLACK_NS;
+            if cur.wall_ns as f64 > allowed {
+                problems.push(format!(
+                    "{}: wall time {:.3}ms exceeds scaled baseline {:.3}ms by more than {:.0}% \
+                     (baseline {:.3}ms, machine scale {:.2}x)",
+                    base.experiment,
+                    cur.wall_ns as f64 / 1e6,
+                    allowed / 1e6 / (1.0 + tolerance),
+                    tolerance * 100.0,
+                    base.wall_ns as f64 / 1e6,
+                    scale,
+                ));
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(walls: &[(&str, u64)]) -> BenchReport {
+        BenchReport {
+            seed: 1,
+            repeats: 3,
+            results: walls
+                .iter()
+                .map(|&(id, wall_ns)| ExperimentBench {
+                    experiment: id.to_string(),
+                    wall_ns,
+                    events: 10,
+                    events_per_sec: 1.0,
+                    peak_queue_depth: 4.0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn bench_runs_and_counts_deterministic_events() {
+        let ids = vec!["faults".to_string()];
+        let a = run_bench(&ids, 1, 1).unwrap();
+        let b = run_bench(&ids, 1, 1).unwrap();
+        assert_eq!(a.results[0].events, b.results[0].events);
+        assert!(
+            a.results[0].events > 0,
+            "the session emits spans when traced"
+        );
+        assert!(
+            a.results[0].peak_queue_depth > 0.0,
+            "the driven bm-guest fills a shadow queue"
+        );
+    }
+
+    #[test]
+    fn unknown_experiment_is_rejected() {
+        assert!(run_bench(&["fig99".to_string()], 1, 1).is_err());
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let ids = vec!["table1".to_string()];
+        let report = run_bench(&ids, 7, 2).unwrap();
+        let parsed = BenchReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed.seed, 7);
+        assert_eq!(parsed.repeats, 2);
+        assert_eq!(parsed.results.len(), 1);
+        assert_eq!(parsed.results[0].experiment, "table1");
+        assert_eq!(parsed.results[0].wall_ns, report.results[0].wall_ns);
+        assert_eq!(parsed.results[0].events, report.results[0].events);
+    }
+
+    #[test]
+    fn uniform_machine_speedup_is_not_a_regression() {
+        let baseline = report(&[("a", 10_000_000), ("b", 20_000_000)]);
+        // Everything 3x faster: scaled baseline shrinks with it.
+        let current = report(&[("a", 3_330_000), ("b", 6_660_000)]);
+        assert!(current.check_against(&baseline, 0.25).is_empty());
+    }
+
+    #[test]
+    fn one_experiment_regressing_is_flagged() {
+        let baseline = report(&[("a", 10_000_000), ("b", 10_000_000)]);
+        // 'b' doubled while 'a' held still: total scale 1.5x, so the
+        // allowed budget for b is 10ms * 1.5 * 1.25 + 1ms slack =
+        // 19.75ms < 20ms.
+        let current = report(&[("a", 10_000_000), ("b", 20_000_000)]);
+        let problems = current.check_against(&baseline, 0.25);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].starts_with("b:"), "{problems:?}");
+    }
+
+    #[test]
+    fn missing_experiment_and_changed_events_are_flagged() {
+        let baseline = report(&[("a", 10_000_000), ("b", 10_000_000)]);
+        let mut current = report(&[("a", 10_000_000)]);
+        current.results[0].events = 11;
+        let problems = current.check_against(&baseline, 0.25);
+        assert!(
+            problems.iter().any(|p| p.contains("missing")),
+            "{problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("event count")),
+            "{problems:?}"
+        );
+    }
+}

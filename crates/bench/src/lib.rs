@@ -5,6 +5,9 @@
 //! `cargo run -p bmhive-bench --bin repro` regenerates the entire
 //! evaluation. All experiments are deterministic in their seed.
 
+pub mod harness;
+pub mod sweep;
+
 use std::fmt::Write as _;
 
 use bmhive_cloud::blockstore::IoKind;

@@ -255,7 +255,6 @@ mod tests {
 
     #[test]
     fn brownout_inflates_service_inside_the_window() {
-        let _guard = crate::fault_test_lock();
         // Same seed twice: the first store measures the clean service
         // time, the second measures it under the canned brownout
         // (block store ×4 over 650–900 µs).

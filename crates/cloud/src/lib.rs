@@ -47,12 +47,5 @@ pub use scheduler::{PlacementError, Scheduler};
 pub use security::{ServiceKind, ServiceProfile};
 pub use vswitch::{PortId, VSwitch};
 
-/// The fault injector is process-global; unit tests across this
-/// crate's modules that arm plans serialise on this lock.
-#[cfg(test)]
-pub(crate) static FAULT_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
-
-#[cfg(test)]
-pub(crate) fn fault_test_lock() -> std::sync::MutexGuard<'static, ()> {
-    FAULT_TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner())
-}
+// The fault injector is thread-local and each test runs on its own
+// thread, so fault tests across this crate need no serialization.

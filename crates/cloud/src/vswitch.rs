@@ -253,7 +253,6 @@ mod tests {
 
     #[test]
     fn brownout_slows_forwarding_and_sheds_backlog() {
-        let _guard = crate::fault_test_lock();
         let plan = faults::canned("backend-brownout").unwrap();
         faults::arm(plan, 77);
         // Inside the vSwitch brownout window (200–500 µs, ×6): the
@@ -284,7 +283,6 @@ mod tests {
 
     #[test]
     fn outside_brownout_window_behaviour_is_identical() {
-        let _guard = crate::fault_test_lock();
         let plan = faults::canned("backend-brownout").unwrap();
         faults::arm(plan, 77);
         let mut sw = VSwitch::new(1);

@@ -1,12 +1,17 @@
-//! The process-global fault injector.
+//! The scoped, per-run fault injector.
 //!
-//! Mirrors the `bmhive-telemetry` collector pattern: a cheap atomic
-//! armed flag guards a lazily initialised mutex, so unarmed runs pay
-//! one relaxed load per injection site and observe *identical* latency
-//! to a build without the faults crate. Arming installs a
-//! [`FaultPlan`] plus a dedicated RNG stream forked from the run seed;
-//! every retry-backoff draw comes from that stream, never from caller
-//! RNGs, so arming a plan perturbs only the faulted operations.
+//! Faults are armed into a [`FaultContext`] that lives in thread-local
+//! storage: arming a plan affects exactly the thread (sweep cell,
+//! test, experiment) that armed it, so parallel runs of the simulator
+//! never observe each other's plans. A cheap thread-local armed flag
+//! guards the context, so unarmed runs pay one `Cell` load per
+//! injection site and observe *identical* latency to a build without
+//! the faults crate. Arming installs a [`FaultPlan`] plus a dedicated
+//! RNG stream forked from the run seed; every retry-backoff draw comes
+//! from that stream, never from caller RNGs, so arming a plan perturbs
+//! only the faulted operations — and because the whole context is
+//! per-thread, a cell's fault behaviour is a pure function of
+//! `(plan, seed)` no matter how many sibling cells run concurrently.
 //!
 //! Call sites ask three questions, each scoped to a [`FaultSite`]:
 //!
@@ -22,10 +27,9 @@
 //! outcome in [`FaultStats`] and the telemetry stream (component
 //! `"faults"`).
 
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, MutexGuard, OnceLock};
 
 use bmhive_sim::{SimDuration, SimRng, SimTime};
 use bmhive_telemetry as telemetry;
@@ -36,17 +40,31 @@ use crate::retry::RetryPolicy;
 /// Telemetry component name for all fault/recovery spans.
 pub const COMPONENT: &str = "faults";
 
-static ARMED: AtomicBool = AtomicBool::new(false);
-static STATE: OnceLock<Mutex<Option<Injector>>> = OnceLock::new();
-
-fn state() -> MutexGuard<'static, Option<Injector>> {
-    STATE
-        .get_or_init(|| Mutex::new(None))
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
+thread_local! {
+    /// Fast-path flag mirroring whether `CONTEXT` holds a plan. Kept
+    /// separate so `is_armed()` never touches the `RefCell`.
+    static ARMED: Cell<bool> = const { Cell::new(false) };
+    static CONTEXT: RefCell<Option<FaultContext>> = const { RefCell::new(None) };
 }
 
-struct Injector {
+/// Runs `f` against the armed context, or returns `default` when no
+/// plan is armed on this thread.
+fn with_context<R>(default: R, f: impl FnOnce(&mut FaultContext) -> R) -> R {
+    CONTEXT.with(|ctx| match ctx.borrow_mut().as_mut() {
+        Some(inner) => f(inner),
+        None => default,
+    })
+}
+
+/// One run's worth of fault-injection state: the plan, the backoff RNG
+/// stream, one-shot consumption flags, and accumulated [`FaultStats`].
+///
+/// A context is installed into thread-local storage with [`arm`] /
+/// [`install`] and removed with [`disarm`] / [`take`]. Because the
+/// handle is per-thread, a parallel sweep arms one context per worker
+/// and cells stay byte-identical to their serial runs.
+#[derive(Debug, Clone)]
+pub struct FaultContext {
     plan: FaultPlan,
     rng: SimRng,
     policy: RetryPolicy,
@@ -55,11 +73,13 @@ struct Injector {
     stats: FaultStats,
 }
 
-impl Injector {
-    fn new(plan: FaultPlan, seed: u64) -> Self {
+impl FaultContext {
+    /// Builds a fresh context for `plan`, seeding backoff jitter from
+    /// `seed`.
+    pub fn new(plan: FaultPlan, seed: u64) -> Self {
         let consumed = vec![false; plan.events().len()];
         let stats = FaultStats::new(&plan.name);
-        Injector {
+        FaultContext {
             plan,
             // A dedicated stream: arming must not disturb the streams
             // the workload itself forks from the same seed.
@@ -70,8 +90,23 @@ impl Injector {
         }
     }
 
+    /// The armed plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The statistics accumulated so far.
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// Consumes the context, yielding its statistics.
+    pub fn into_stats(self) -> FaultStats {
+        self.stats
+    }
+
     /// Latest end time over blocking windows at `site` covering `now`.
-    fn blocking_until(&self, site: FaultSite, now: SimTime) -> Option<SimTime> {
+    fn blocking_window_until(&self, site: FaultSite, now: SimTime) -> Option<SimTime> {
         self.plan
             .events()
             .iter()
@@ -196,26 +231,38 @@ impl FaultStats {
     }
 }
 
-/// Arms the injector with `plan`, seeding backoff jitter from `seed`.
-/// Replaces any previously armed plan and resets its statistics.
+/// Arms this thread's injector with `plan`, seeding backoff jitter
+/// from `seed`. Replaces any previously armed plan and resets its
+/// statistics.
 pub fn arm(plan: FaultPlan, seed: u64) {
-    let mut guard = state();
-    *guard = Some(Injector::new(plan, seed));
-    ARMED.store(true, Ordering::SeqCst);
+    install(FaultContext::new(plan, seed));
 }
 
-/// Disarms the injector and returns the accumulated statistics, or
-/// `None` if nothing was armed.
+/// Installs a pre-built [`FaultContext`] on this thread, replacing any
+/// armed plan.
+pub fn install(context: FaultContext) {
+    CONTEXT.with(|ctx| *ctx.borrow_mut() = Some(context));
+    ARMED.with(|armed| armed.set(true));
+}
+
+/// Disarms this thread's injector and returns the accumulated
+/// statistics, or `None` if nothing was armed.
 pub fn disarm() -> Option<FaultStats> {
-    ARMED.store(false, Ordering::SeqCst);
-    state().take().map(|inj| inj.stats)
+    take().map(FaultContext::into_stats)
 }
 
-/// Whether a plan is currently armed. Injection sites use this as the
-/// zero-cost fast path.
+/// Removes and returns this thread's context without discarding it, or
+/// `None` if nothing was armed.
+pub fn take() -> Option<FaultContext> {
+    ARMED.with(|armed| armed.set(false));
+    CONTEXT.with(|ctx| ctx.borrow_mut().take())
+}
+
+/// Whether a plan is armed on this thread. Injection sites use this as
+/// the zero-cost fast path.
 #[inline]
 pub fn is_armed() -> bool {
-    ARMED.load(Ordering::Relaxed)
+    ARMED.with(|armed| armed.get())
 }
 
 /// A snapshot of the current statistics without disarming.
@@ -223,7 +270,7 @@ pub fn stats() -> Option<FaultStats> {
     if !is_armed() {
         return None;
     }
-    state().as_ref().map(|inj| inj.stats.clone())
+    with_context(None, |ctx| Some(ctx.stats.clone()))
 }
 
 /// Name of the armed plan, if any.
@@ -231,7 +278,7 @@ pub fn armed_plan_name() -> Option<String> {
     if !is_armed() {
         return None;
     }
-    state().as_ref().map(|inj| inj.plan.name.clone())
+    with_context(None, |ctx| Some(ctx.plan.name.clone()))
 }
 
 /// If a blocking window fault covers `now` at `site`, returns when the
@@ -240,19 +287,19 @@ pub fn blocking_until(site: FaultSite, now: SimTime) -> Option<SimTime> {
     if !is_armed() {
         return None;
     }
-    let mut guard = state();
-    let inj = guard.as_mut()?;
-    let until = inj.blocking_until(site, now)?;
-    let kind = inj
-        .plan
-        .events()
-        .iter()
-        .find(|ev| ev.site == site && ev.covers(now) && ev.until() == until)
-        .map(|ev| ev.kind)
-        .unwrap_or(FaultKind::LinkFlap);
-    let key = format!("{}/{}", site.name(), kind.name());
-    FaultStats::bump(&mut inj.stats.injected, key, 1);
-    Some(until)
+    with_context(None, |ctx| {
+        let until = ctx.blocking_window_until(site, now)?;
+        let kind = ctx
+            .plan
+            .events()
+            .iter()
+            .find(|ev| ev.site == site && ev.covers(now) && ev.until() == until)
+            .map(|ev| ev.kind)
+            .unwrap_or(FaultKind::LinkFlap);
+        let key = format!("{}/{}", site.name(), kind.name());
+        FaultStats::bump(&mut ctx.stats.injected, key, 1);
+        Some(until)
+    })
 }
 
 /// Combined latency multiplier from spike/brownout windows active at
@@ -262,22 +309,20 @@ pub fn latency_factor(site: FaultSite, now: SimTime) -> f64 {
     if !is_armed() {
         return 1.0;
     }
-    let mut guard = state();
-    let Some(inj) = guard.as_mut() else {
-        return 1.0;
-    };
-    let mut factor = 1.0;
-    let mut hits = Vec::new();
-    for ev in inj.plan.events() {
-        if ev.site == site && ev.covers(now) && ev.kind.uses_factor() {
-            factor *= ev.factor;
-            hits.push(format!("{}/{}", site.name(), ev.kind.name()));
+    with_context(1.0, |ctx| {
+        let mut factor = 1.0;
+        let mut hits = Vec::new();
+        for ev in ctx.plan.events() {
+            if ev.site == site && ev.covers(now) && ev.kind.uses_factor() {
+                factor *= ev.factor;
+                hits.push(format!("{}/{}", site.name(), ev.kind.name()));
+            }
         }
-    }
-    for key in hits {
-        FaultStats::bump(&mut inj.stats.injected, key, 1);
-    }
-    factor
+        for key in hits {
+            FaultStats::bump(&mut ctx.stats.injected, key, 1);
+        }
+        factor
+    })
 }
 
 /// Whether a descriptor-corruption window covers `now` at `site`.
@@ -286,20 +331,17 @@ pub fn corrupted(site: FaultSite, now: SimTime) -> bool {
     if !is_armed() {
         return false;
     }
-    let mut guard = state();
-    let Some(inj) = guard.as_mut() else {
-        return false;
-    };
-    let hit = inj
-        .plan
-        .events()
-        .iter()
-        .any(|ev| ev.site == site && ev.covers(now) && ev.kind == FaultKind::DescriptorCorrupt);
-    if hit {
-        let key = format!("{}/{}", site.name(), FaultKind::DescriptorCorrupt.name());
-        FaultStats::bump(&mut inj.stats.injected, key, 1);
-    }
-    hit
+    with_context(false, |ctx| {
+        let hit =
+            ctx.plan.events().iter().any(|ev| {
+                ev.site == site && ev.covers(now) && ev.kind == FaultKind::DescriptorCorrupt
+            });
+        if hit {
+            let key = format!("{}/{}", site.name(), FaultKind::DescriptorCorrupt.name());
+            FaultStats::bump(&mut ctx.stats.injected, key, 1);
+        }
+        hit
+    })
 }
 
 /// Fires a one-shot fault (`DroppedDoorbell`, `PowerLoss`) the first
@@ -311,27 +353,27 @@ pub fn take_oneshot(site: FaultSite, kind: FaultKind, now: SimTime) -> Option<Si
     if !is_armed() || !kind.is_oneshot() {
         return None;
     }
-    let mut guard = state();
-    let inj = guard.as_mut()?;
-    let mut outage = None;
-    let mut keys = Vec::new();
-    for (idx, ev) in inj.plan.events().iter().enumerate() {
-        if ev.site == site && ev.kind == kind && !inj.consumed[idx] && now >= ev.at {
-            inj.consumed[idx] = true;
-            outage = Some(outage.unwrap_or(SimDuration::ZERO).max(ev.duration));
-            keys.push(format!("{}/{}", site.name(), kind.name()));
+    with_context(None, |ctx| {
+        let mut outage = None;
+        let mut keys = Vec::new();
+        for (idx, ev) in ctx.plan.events().iter().enumerate() {
+            if ev.site == site && ev.kind == kind && !ctx.consumed[idx] && now >= ev.at {
+                ctx.consumed[idx] = true;
+                outage = Some(outage.unwrap_or(SimDuration::ZERO).max(ev.duration));
+                keys.push(format!("{}/{}", site.name(), kind.name()));
+            }
         }
-    }
-    for key in keys {
-        FaultStats::bump(&mut inj.stats.injected, key, 1);
-    }
-    outage
+        for key in keys {
+            FaultStats::bump(&mut ctx.stats.injected, key, 1);
+        }
+        outage
+    })
 }
 
 /// Runs the bounded-backoff recovery loop for a blocking fault at
 /// `site`, starting at `now`. Each attempt costs `attempt_cost` (the
 /// price of re-issuing the operation) plus a jittered backoff delay
-/// drawn from the injector RNG; the loop exits as soon as virtual time
+/// drawn from the context RNG; the loop exits as soon as virtual time
 /// advances past every blocking window, or escalates after the policy's
 /// attempt budget. A telemetry span (`component "faults"`, labelled
 /// `"retry:<site>:<label>"`) covers the whole wait.
@@ -344,52 +386,53 @@ pub fn retry_until_clear(
     if !is_armed() {
         return Recovery::CLEAR;
     }
-    let mut guard = state();
-    let Some(inj) = guard.as_mut() else {
+    let recovery = with_context(None, |ctx| {
+        ctx.blocking_window_until(site, now)?;
+        let policy = ctx.policy;
+        let mut t = now;
+        let mut attempts = 0u32;
+        let mut recovered = false;
+        while attempts < policy.max_attempts {
+            attempts += 1;
+            let delay = policy.jittered(attempts, &mut ctx.rng);
+            t += delay + attempt_cost;
+            if ctx.blocking_window_until(site, t).is_none() {
+                recovered = true;
+                break;
+            }
+        }
+        let waited = t - now;
+        let site_key = site.name().to_string();
+        FaultStats::bump(
+            &mut ctx.stats.retries,
+            site_key.clone(),
+            u64::from(attempts),
+        );
+        if recovered {
+            FaultStats::bump(&mut ctx.stats.recovered, site_key, 1);
+        } else {
+            FaultStats::bump(&mut ctx.stats.escalated, site_key, 1);
+        }
+        Some(Recovery {
+            recovered,
+            attempts,
+            waited,
+        })
+    });
+    let Some(recovery) = recovery else {
         return Recovery::CLEAR;
     };
-    if inj.blocking_until(site, now).is_none() {
-        return Recovery::CLEAR;
-    }
-    let policy = inj.policy;
-    let mut t = now;
-    let mut attempts = 0u32;
-    let mut recovered = false;
-    while attempts < policy.max_attempts {
-        attempts += 1;
-        let delay = policy.jittered(attempts, &mut inj.rng);
-        t += delay + attempt_cost;
-        if inj.blocking_until(site, t).is_none() {
-            recovered = true;
-            break;
-        }
-    }
-    let waited = t - now;
-    let site_key = site.name().to_string();
-    FaultStats::bump(
-        &mut inj.stats.retries,
-        site_key.clone(),
-        u64::from(attempts),
-    );
-    if recovered {
-        FaultStats::bump(&mut inj.stats.recovered, site_key, 1);
-    } else {
-        FaultStats::bump(&mut inj.stats.escalated, site_key, 1);
-    }
-    drop(guard);
+    // Telemetry happens outside the context borrow: span labels are
+    // only built on this slow path, never on the unarmed fast path.
     telemetry::span(
         COMPONENT,
         format!("retry:{}:{label}", site.name()),
         now,
-        waited,
+        recovery.waited,
     );
-    telemetry::counter("faults_retries", u64::from(attempts));
-    telemetry::timer("faults_backoff_wait", waited);
-    Recovery {
-        recovered,
-        attempts,
-        waited,
-    }
+    telemetry::counter("faults_retries", u64::from(recovery.attempts));
+    telemetry::timer("faults_backoff_wait", recovery.waited);
+    recovery
 }
 
 /// Records an escalation raised outside the retry loop (e.g. a power
@@ -398,10 +441,10 @@ pub fn note_escalated(site: FaultSite) {
     if !is_armed() {
         return;
     }
-    if let Some(inj) = state().as_mut() {
-        FaultStats::bump(&mut inj.stats.escalated, site.name().to_string(), 1);
-        telemetry::counter("faults_escalated", 1);
-    }
+    with_context((), |ctx| {
+        FaultStats::bump(&mut ctx.stats.escalated, site.name().to_string(), 1);
+    });
+    telemetry::counter("faults_escalated", 1);
 }
 
 /// Records a completed reset + re-handshake that resolved an
@@ -410,10 +453,10 @@ pub fn note_reset(site: FaultSite) {
     if !is_armed() {
         return;
     }
-    if let Some(inj) = state().as_mut() {
-        FaultStats::bump(&mut inj.stats.resets, site.name().to_string(), 1);
-        telemetry::counter("faults_resets", 1);
-    }
+    with_context((), |ctx| {
+        FaultStats::bump(&mut ctx.stats.resets, site.name().to_string(), 1);
+    });
+    telemetry::counter("faults_resets", 1);
 }
 
 /// Records `chains` inflight descriptor chains replayed after a reset.
@@ -421,10 +464,10 @@ pub fn note_replayed(site: FaultSite, chains: u64) {
     if !is_armed() || chains == 0 {
         return;
     }
-    if let Some(inj) = state().as_mut() {
-        FaultStats::bump(&mut inj.stats.replayed, site.name().to_string(), chains);
-        telemetry::counter("faults_replayed", chains);
-    }
+    with_context((), |ctx| {
+        FaultStats::bump(&mut ctx.stats.replayed, site.name().to_string(), chains);
+    });
+    telemetry::counter("faults_replayed", chains);
 }
 
 /// Records one operation shed under brownout (queue-depth shedding).
@@ -432,10 +475,10 @@ pub fn note_shed(site: FaultSite) {
     if !is_armed() {
         return;
     }
-    if let Some(inj) = state().as_mut() {
-        FaultStats::bump(&mut inj.stats.shed, site.name().to_string(), 1);
-        telemetry::counter("faults_shed", 1);
-    }
+    with_context((), |ctx| {
+        FaultStats::bump(&mut ctx.stats.shed, site.name().to_string(), 1);
+    });
+    telemetry::counter("faults_shed", 1);
 }
 
 /// Records extra latency absorbed (spike/brownout slowdown, corrupt
@@ -444,29 +487,23 @@ pub fn note_degraded(site: FaultSite, extra: SimDuration) {
     if !is_armed() || extra.is_zero() {
         return;
     }
-    if let Some(inj) = state().as_mut() {
+    with_context((), |ctx| {
         FaultStats::bump(
-            &mut inj.stats.degraded_ns,
+            &mut ctx.stats.degraded_ns,
             site.name().to_string(),
             extra.as_nanos(),
         );
-        telemetry::timer("faults_degraded", extra);
-    }
+    });
+    telemetry::timer("faults_degraded", extra);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::plan::FaultEvent;
-    use std::sync::Mutex as StdMutex;
 
-    // The injector is process-global; unit tests in this binary take
-    // this lock so they never observe each other's armed plans.
-    static SERIAL: StdMutex<()> = StdMutex::new(());
-
-    fn lock() -> std::sync::MutexGuard<'static, ()> {
-        SERIAL.lock().unwrap_or_else(|p| p.into_inner())
-    }
+    // The injector is thread-local and `cargo test` runs each test on
+    // its own thread, so tests arm plans without any serialization.
 
     fn plan_with(events: Vec<FaultEvent>) -> FaultPlan {
         let mut plan = FaultPlan::new("test");
@@ -482,7 +519,6 @@ mod tests {
 
     #[test]
     fn unarmed_sites_are_identity() {
-        let _g = lock();
         disarm();
         assert!(!is_armed());
         assert_eq!(blocking_until(FaultSite::Pcie, us(0)), None);
@@ -497,7 +533,6 @@ mod tests {
 
     #[test]
     fn window_faults_cover_and_clear() {
-        let _g = lock();
         let plan = plan_with(vec![FaultEvent::window(
             us(100),
             FaultSite::Pcie,
@@ -517,7 +552,6 @@ mod tests {
 
     #[test]
     fn oneshots_fire_exactly_once() {
-        let _g = lock();
         let plan = plan_with(vec![FaultEvent::window(
             us(400),
             FaultSite::Board,
@@ -536,7 +570,6 @@ mod tests {
 
     #[test]
     fn retry_loop_outwaits_a_window_and_records_stats() {
-        let _g = lock();
         let plan = plan_with(vec![FaultEvent::window(
             us(0),
             FaultSite::Dma,
@@ -556,7 +589,6 @@ mod tests {
 
     #[test]
     fn retry_loop_escalates_when_the_window_outlasts_the_budget() {
-        let _g = lock();
         // Longer than the device-path worst case (~1.2 ms).
         let plan = plan_with(vec![FaultEvent::window(
             us(0),
@@ -578,7 +610,6 @@ mod tests {
 
     #[test]
     fn retry_waits_are_deterministic_per_seed() {
-        let _g = lock();
         let run = |seed| {
             let plan = plan_with(vec![FaultEvent::window(
                 us(0),
@@ -598,7 +629,6 @@ mod tests {
 
     #[test]
     fn stats_text_is_stable_and_reports_recovery() {
-        let _g = lock();
         let plan = plan_with(vec![FaultEvent::factor(
             us(10),
             FaultSite::VSwitch,
@@ -616,5 +646,50 @@ mod tests {
         assert!(a.contains("vswitch/brownout: 1"));
         assert!(a.contains("recovered: yes"));
         disarm();
+    }
+
+    #[test]
+    fn contexts_are_thread_local() {
+        let plan = plan_with(vec![FaultEvent::window(
+            us(0),
+            FaultSite::Pcie,
+            FaultKind::LinkFlap,
+            SimDuration::from_micros(50),
+        )]);
+        arm(plan, 1);
+        assert!(is_armed());
+        // A sibling thread sees no plan and can arm its own without
+        // disturbing ours.
+        std::thread::spawn(|| {
+            assert!(!is_armed());
+            assert_eq!(blocking_until(FaultSite::Pcie, us(10)), None);
+            arm(FaultPlan::new("other"), 7);
+            assert_eq!(armed_plan_name().as_deref(), Some("other"));
+            disarm();
+        })
+        .join()
+        .unwrap();
+        assert_eq!(armed_plan_name().as_deref(), Some("test"));
+        assert_eq!(blocking_until(FaultSite::Pcie, us(10)), Some(us(50)));
+        disarm();
+    }
+
+    #[test]
+    fn take_and_install_round_trip_a_context() {
+        let plan = plan_with(vec![FaultEvent::window(
+            us(0),
+            FaultSite::Dma,
+            FaultKind::DmaTimeout,
+            SimDuration::from_micros(10),
+        )]);
+        arm(plan, 3);
+        assert!(blocking_until(FaultSite::Dma, us(5)).is_some());
+        let ctx = take().unwrap();
+        assert!(!is_armed());
+        assert_eq!(ctx.stats().injected_total(), 1);
+        install(ctx);
+        assert!(is_armed());
+        let stats = disarm().unwrap();
+        assert_eq!(stats.injected.get("dma/dma-timeout"), Some(&1));
     }
 }

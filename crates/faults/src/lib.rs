@@ -6,8 +6,8 @@
 //! replayable* instead of ad-hoc: a [`FaultPlan`] lists seeded,
 //! virtual-time fault events (`{at, site, kind, duration, factor}`),
 //! and injection sites threaded through `pcie`, `iobond`, `hypervisor`,
-//! and `cloud` consult the process-global injector on every affected
-//! operation.
+//! and `cloud` consult the thread-local [`inject::FaultContext`] on
+//! every affected operation.
 //!
 //! # Sites and kinds
 //!
@@ -33,9 +33,11 @@
 //! `--faults` flag arms a plan for a whole run, and the CI fault matrix
 //! `cmp`s two traced runs per canned plan to enforce the contract.
 //!
-//! When no plan is armed every injection hook is a single relaxed
-//! atomic load returning the identity answer, so fault-free runs are
-//! unchanged down to the nanosecond.
+//! When no plan is armed every injection hook is a single thread-local
+//! flag load returning the identity answer, so fault-free runs are
+//! unchanged down to the nanosecond. The whole injector is scoped
+//! per-thread: a parallel sweep arms one [`inject::FaultContext`] per
+//! worker and cells never observe a sibling's plan.
 
 #![warn(missing_docs)]
 
@@ -45,9 +47,9 @@ pub mod plan;
 pub mod retry;
 
 pub use inject::{
-    arm, armed_plan_name, blocking_until, corrupted, disarm, is_armed, latency_factor,
+    arm, armed_plan_name, blocking_until, corrupted, disarm, install, is_armed, latency_factor,
     note_degraded, note_escalated, note_replayed, note_reset, note_shed, retry_until_clear, stats,
-    take_oneshot, FaultStats, Recovery, COMPONENT,
+    take, take_oneshot, FaultContext, FaultStats, Recovery, COMPONENT,
 };
 pub use plan::{
     backend_brownout, board_loss, canned, dma_timeout, link_flap, FaultEvent, FaultKind, FaultPlan,

@@ -340,8 +340,11 @@ impl BmGuestSession {
         faults::note_degraded(FaultSite::Board, outage);
 
         // Each device replays the full register-level handshake over
-        // the guest link before it is live again.
-        let handshake = self.profile.guest_register_access() * 2 * Self::HANDSHAKE_REGISTER_HOPS;
+        // the guest link before it is live again. Each hop takes the
+        // fault-aware path: a latency spike active at restart stretches
+        // the whole handshake.
+        let hop = self.profile.guest_link().register_access_at(restart);
+        let handshake = hop * 2 * Self::HANDSHAKE_REGISTER_HOPS;
         let recovered_at = restart + handshake;
         let replayed_chains = net_report.replayed_chains + blk_report.replayed_chains;
         if telemetry::is_enabled() {
@@ -403,8 +406,9 @@ impl BmGuestSession {
         let head = self.net_tx_driver.add_buf(&mut self.board, &segs, &[])?;
         self.tx_posted.insert(head, buf);
 
-        // Kick: one PCI write across the guest link.
-        let kicked = now + self.profile.guest_register_access();
+        // Kick: one PCI write across the guest link (fault-aware: a
+        // link flap stalls the kick, a spike stretches it).
+        let kicked = now + self.profile.guest_link().register_access_at(now);
         self.net_dev.function_mut().state_mut(); // (doorbell recorded below through service)
 
         // IO-Bond syncs the chain into the shadow ring.
@@ -414,8 +418,14 @@ impl BmGuestSession {
         let synced_at = report.tx[TX_Q].done_at;
 
         // Backend PMD sees the head register move (one base-side
-        // register read) and consumes the shadow chain.
-        let seen = synced_at + self.profile.base_register_access();
+        // register read through the mailbox: a mailbox stall blocks the
+        // poll) and consumes the shadow chain.
+        let seen = synced_at
+            + self
+                .net_dev
+                .shadow(TX_Q)
+                .expect("activated")
+                .register_poll_at(synced_at);
         let chain = self
             .net_tx_backend
             .pop_avail(&self.base)?
@@ -620,13 +630,19 @@ impl BmGuestSession {
             .add_buf(&mut self.board, &readable, &writable)?;
         self.blk_posted.insert(head, slots);
 
-        // Kick + sync to shadow.
-        let kicked = now + self.profile.guest_register_access();
+        // Kick + sync to shadow (kick and PMD poll both take the
+        // fault-aware register paths).
+        let kicked = now + self.profile.guest_link().register_access_at(now);
         let report = self
             .blk_dev
             .service(&mut self.board, &mut self.base, kicked)?;
         let synced_at = report.tx[0].done_at;
-        let synced = synced_at + self.profile.base_register_access();
+        let synced = synced_at
+            + self
+                .blk_dev
+                .shadow(0)
+                .expect("activated")
+                .register_poll_at(synced_at);
 
         // Backend: parse, rate-limit, execute on the store.
         let chain = self
@@ -937,14 +953,12 @@ mod tests {
 
     #[test]
     fn poll_faults_is_inert_without_a_plan() {
-        let _guard = crate::fault_test_lock();
         let mut s = session();
         assert!(s.poll_faults(SimTime::from_micros(500)).unwrap().is_none());
     }
 
     #[test]
     fn board_power_loss_recovers_both_devices_and_replays_rx() {
-        let _guard = crate::fault_test_lock();
         let mut s = session();
         // Prime the session: one send syncs the rings, leaving the
         // posted rx buffers inflight in the shadow ring.
@@ -998,7 +1012,6 @@ mod tests {
 
     #[test]
     fn board_recovery_is_deterministic_per_seed() {
-        let _guard = crate::fault_test_lock();
         let run = || {
             let mut s = session();
             s.net_send(MacAddr::for_guest(2), PacketKind::Udp, b"x", SimTime::ZERO)

@@ -337,12 +337,12 @@ impl PciDevice for IoBondDevice {
     }
 
     fn bar_read(&mut self, bar: usize, offset: u64, width: u8, now: SimTime) -> u32 {
-        self.pci_time += self.profile.guest_register_access();
+        self.pci_time += self.profile.guest_link().register_access_at(now);
         self.function.bar_read(bar, offset, width, now)
     }
 
     fn bar_write(&mut self, bar: usize, offset: u64, width: u8, value: u32, now: SimTime) {
-        self.pci_time += self.profile.guest_register_access();
+        self.pci_time += self.profile.guest_link().register_access_at(now);
         self.function.bar_write(bar, offset, width, value, now);
     }
 }

@@ -143,6 +143,33 @@ impl ShadowQueue {
         self.tail_reg
     }
 
+    /// Fault-aware cost of one bm-hypervisor poll of the head/tail
+    /// register pair at virtual time `now`.
+    ///
+    /// The registers are IO-Bond's mailbox toward the polling PMD
+    /// thread (§3.4.3). With no plan armed this is exactly the base
+    /// link's register access. Under an armed plan, a mailbox-stall
+    /// window covering `now` blocks the read until the bounded-backoff
+    /// retry loop outwaits it, and an active mailbox latency factor
+    /// stretches the access itself.
+    pub fn register_poll_at(&self, now: SimTime) -> SimDuration {
+        let base = self.profile.base_register_access();
+        if !faults::is_armed() {
+            return base;
+        }
+        let mut total = SimDuration::ZERO;
+        if faults::blocking_until(FaultSite::Mailbox, now).is_some() {
+            let recovery = faults::retry_until_clear(FaultSite::Mailbox, "head_tail", now, base);
+            total += recovery.waited;
+        }
+        let factor = faults::latency_factor(FaultSite::Mailbox, now + total);
+        let access = base.mul_f64(factor);
+        if factor > 1.0 {
+            faults::note_degraded(FaultSite::Mailbox, access - base);
+        }
+        total + access
+    }
+
     /// Chains currently in flight (posted to shadow, not yet completed).
     pub fn inflight_count(&self) -> usize {
         self.inflight.len()
@@ -184,14 +211,14 @@ impl ShadowQueue {
                     None => break,
                 },
             };
-            match self.stage_chain(board, base, &chain, dma_free) {
+            match self.stage_chain(board, base, chain, dma_free) {
                 Ok((moved, finish)) => {
                     chains += 1;
                     bytes += moved;
                     done_at = done_at.max(finish);
                     dma_free = dma_free.max(finish);
                 }
-                Err(StageError::NoStaging) => {
+                Err(StageError::NoStaging(chain)) => {
                     // Park it and stop: staging frees on completion.
                     self.deferred.push_front(chain);
                     telemetry::counter("iobond.staging_backpressure", 1);
@@ -210,6 +237,8 @@ impl ShadowQueue {
             );
             telemetry::counter("iobond.chains_synced", chains as u64);
             telemetry::counter("iobond.bytes_to_shadow", bytes);
+            telemetry::gauge_max("iobond.peak_inflight", self.inflight.len() as f64);
+            telemetry::gauge_max("iobond.peak_deferred", self.deferred.len() as f64);
         }
         Ok(SyncReport {
             chains,
@@ -218,11 +247,18 @@ impl ShadowQueue {
         })
     }
 
+    /// Takes the chain by value so the guest-writable list moves into
+    /// the inflight table instead of being cloned per chain; a
+    /// backpressured chain is handed back inside
+    /// [`StageError::NoStaging`].
+    // The fat Err variant is the point: carrying the chain back beats
+    // boxing it (an extra allocation on the backpressure path).
+    #[allow(clippy::result_large_err)]
     fn stage_chain(
         &mut self,
         board: &GuestRam,
         base: &mut GuestRam,
-        chain: &DescChain,
+        chain: DescChain,
         now: SimTime,
     ) -> Result<(u64, SimTime), StageError> {
         let r_len = chain.readable.total_len();
@@ -235,7 +271,7 @@ impl ShadowQueue {
         let staging_readable = if r_len > 0 {
             match self.pool.alloc(r_len) {
                 Some(sg) => sg,
-                None => return Err(StageError::NoStaging),
+                None => return Err(StageError::NoStaging(chain)),
             }
         } else {
             SgList::new()
@@ -247,7 +283,7 @@ impl ShadowQueue {
                     if !staging_readable.is_empty() {
                         self.pool.free(&staging_readable);
                     }
-                    return Err(StageError::NoStaging);
+                    return Err(StageError::NoStaging(chain));
                 }
             }
         } else {
@@ -263,7 +299,7 @@ impl ShadowQueue {
                 if !staging_writable.is_empty() {
                     self.pool.free(&staging_writable);
                 }
-                return Err(StageError::NoStaging);
+                return Err(StageError::NoStaging(chain));
             }
         };
 
@@ -318,7 +354,7 @@ impl ShadowQueue {
             shadow_head,
             Inflight {
                 guest_head: chain.head,
-                guest_writable: chain.writable.clone(),
+                guest_writable: chain.writable,
                 staging_readable,
                 staging_writable,
                 table,
@@ -366,19 +402,37 @@ impl ShadowQueue {
                     );
                     dma_free += timeout + recovery.waited;
                 }
-                // Copy only the bytes the backend produced.
-                let (src, _) = inflight.staging_writable.split_at(u64::from(written));
-                let (dst, _) = inflight
-                    .guest_writable
-                    .split_at(u64::from(written).min(inflight.guest_writable.total_len()));
-                let (_, cost) = self.profile.dma().transfer(base, &src, board, &dst)?;
+                // Copy only the bytes the backend produced. When the
+                // backend filled the buffers completely (the common
+                // case for sized requests), the inflight lists are used
+                // as-is — no split, no new lists.
+                let full = u64::from(written) == inflight.staging_writable.total_len()
+                    && u64::from(written) >= inflight.guest_writable.total_len();
+                let cost = if full {
+                    self.profile
+                        .dma()
+                        .transfer(
+                            base,
+                            &inflight.staging_writable,
+                            board,
+                            &inflight.guest_writable,
+                        )?
+                        .1
+                } else {
+                    let (src, _) = inflight.staging_writable.split_at(u64::from(written));
+                    let (dst, _) = inflight
+                        .guest_writable
+                        .split_at(u64::from(written).min(inflight.guest_writable.total_len()));
+                    self.profile.dma().transfer(base, &src, board, &dst)?.1
+                };
                 finish = dma_free + cost;
                 self.dma_busy += cost;
                 dma_free = finish;
             }
             // Completing the guest ring is a posted write + MSI across
-            // the guest link.
-            finish += self.profile.guest_register_access();
+            // the guest link — the fault-aware path, so link flaps and
+            // latency spikes reach session-stack completions too.
+            finish += self.profile.guest_link().register_access_at(finish);
             self.guest_vq
                 .push_used(board, inflight.guest_head, written)?;
             self.tail_reg += 1;
@@ -440,7 +494,8 @@ impl ShadowQueue {
 }
 
 enum StageError {
-    NoStaging,
+    /// Staging pool exhausted; the chain comes back for re-parking.
+    NoStaging(DescChain),
     Virtio(VirtioError),
 }
 
@@ -651,6 +706,77 @@ mod tests {
             .sync_from_shadow(&mut r.board, &r.base, SimTime::ZERO)
             .unwrap();
         assert!(completions.is_empty());
+    }
+
+    #[test]
+    fn full_buffer_completion_round_trips() {
+        let mut r = rig(8, 16);
+        // Backend fills the rx buffer completely: the copy-back takes
+        // the no-split fast path and must behave identically.
+        let guest_head = r
+            .guest_driver
+            .add_buf(
+                &mut r.board,
+                &[],
+                &[SgSegment::new(GuestAddr::new(0x9000), 8)],
+            )
+            .unwrap();
+        r.shadow
+            .sync_to_shadow(&r.board, &mut r.base, SimTime::ZERO)
+            .unwrap();
+        let chain = r.backend_vq.pop_avail(&r.base).unwrap().unwrap();
+        chain.writable.scatter(&mut r.base, b"12345678").unwrap();
+        r.backend_vq.push_used(&mut r.base, chain.head, 8).unwrap();
+        let completions = r
+            .shadow
+            .sync_from_shadow(&mut r.board, &r.base, SimTime::from_micros(5))
+            .unwrap();
+        assert_eq!(completions.len(), 1);
+        assert_eq!(completions[0].written, 8);
+        assert_eq!(
+            r.guest_driver.poll_used(&r.board).unwrap(),
+            Some((guest_head, 8))
+        );
+        assert_eq!(
+            r.board.read_vec(GuestAddr::new(0x9000), 8).unwrap(),
+            b"12345678"
+        );
+    }
+
+    #[test]
+    fn register_poll_is_identity_when_unarmed() {
+        let r = rig(8, 16);
+        faults::disarm();
+        assert_eq!(
+            r.shadow.register_poll_at(SimTime::from_micros(3)),
+            IoBondProfile::fpga().base_register_access()
+        );
+    }
+
+    #[test]
+    fn mailbox_stall_blocks_the_head_tail_poll() {
+        let r = rig(8, 16);
+        let mut plan = bmhive_faults::FaultPlan::new("mailbox-test");
+        plan.push(bmhive_faults::FaultEvent::window(
+            SimTime::from_micros(100),
+            FaultSite::Mailbox,
+            bmhive_faults::FaultKind::MailboxStall,
+            SimDuration::from_micros(40),
+        ));
+        faults::arm(plan, 11);
+        let base = IoBondProfile::fpga().base_register_access();
+        // Before the window: untouched.
+        assert_eq!(r.shadow.register_poll_at(SimTime::from_micros(50)), base);
+        // During the stall: the poll waits out the window (plus the
+        // access itself).
+        let stalled = r.shadow.register_poll_at(SimTime::from_micros(110));
+        assert!(
+            stalled >= SimDuration::from_micros(30) + base,
+            "stalled poll was only {stalled}"
+        );
+        let stats = faults::disarm().unwrap();
+        assert!(stats.injected.contains_key("mailbox/mailbox-stall"));
+        assert_eq!(stats.recovered.get("mailbox"), Some(&1));
     }
 
     #[test]

@@ -403,7 +403,6 @@ mod tests {
 
     #[test]
     fn faulted_exchange_is_identity_when_unarmed() {
-        let _g = crate::fault_test_lock();
         bmhive_faults::disarm();
         let profile = IoBondProfile::fpga();
         assert_eq!(
@@ -414,7 +413,6 @@ mod tests {
 
     #[test]
     fn device_path_faults_inflate_the_exchange_and_recover() {
-        let _g = crate::fault_test_lock();
         let profile = IoBondProfile::fpga();
         let clean = total_latency(&tx_rx_steps(&profile, 64, 64));
         // The canned device-path plan, shifted so every window covers
@@ -455,7 +453,6 @@ mod tests {
 
     #[test]
     fn faulted_exchange_is_deterministic_per_seed() {
-        let _g = crate::fault_test_lock();
         let profile = IoBondProfile::fpga();
         let run = |seed| {
             bmhive_faults::arm(bmhive_faults::dma_timeout(), seed);

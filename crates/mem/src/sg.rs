@@ -5,6 +5,13 @@
 //! with helpers to gather bytes out of a [`GuestRam`] and scatter bytes
 //! back in — the operation IO-Bond's DMA engine performs when it
 //! synchronises a guest vring with its shadow vring.
+//!
+//! Descriptor chains are short in practice (a virtio-net frame is a
+//! 2-segment chain, a block request 3), and the simulator builds two
+//! lists per popped chain on its hottest path, so [`SgList`] stores up
+//! to [`SgList::INLINE_SEGMENTS`] segments inline and only spills to
+//! the heap for longer chains. Short-chain workloads allocate nothing
+//! per descriptor.
 
 use crate::addr::GuestAddr;
 use crate::ram::{GuestRam, MemError};
@@ -23,9 +30,20 @@ impl SgSegment {
     pub fn new(addr: GuestAddr, len: u32) -> Self {
         SgSegment { addr, len }
     }
+
+    /// Filler for unused inline slots.
+    const EMPTY: SgSegment = SgSegment {
+        addr: GuestAddr::new(0),
+        len: 0,
+    };
 }
 
 /// An ordered list of scatter–gather segments.
+///
+/// Up to [`SgList::INLINE_SEGMENTS`] segments live inline (no heap
+/// allocation); longer lists spill to a `Vec`. The representation is
+/// invisible to callers — equality, iteration order, and every helper
+/// behave identically either way.
 ///
 /// # Example
 ///
@@ -42,52 +60,105 @@ impl SgSegment {
 /// ]);
 /// assert_eq!(sg.gather(&ram).unwrap(), b"baremetal");
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct SgList {
-    segments: Vec<SgSegment>,
+    repr: Repr,
+}
+
+#[derive(Clone)]
+enum Repr {
+    Inline {
+        len: u8,
+        buf: [SgSegment; SgList::INLINE_SEGMENTS],
+    },
+    Heap(Vec<SgSegment>),
 }
 
 impl SgList {
+    /// Segments stored without a heap allocation. Covers virtio-net
+    /// (header + payload) and virtio-blk (header + payload + status)
+    /// chains with room to spare.
+    pub const INLINE_SEGMENTS: usize = 4;
+
     /// Creates an empty list.
     pub fn new() -> Self {
-        SgList::default()
+        SgList {
+            repr: Repr::Inline {
+                len: 0,
+                buf: [SgSegment::EMPTY; Self::INLINE_SEGMENTS],
+            },
+        }
     }
 
     /// Creates a list from segments, in order.
     pub fn from_segments(segments: Vec<SgSegment>) -> Self {
-        SgList { segments }
+        if segments.len() <= Self::INLINE_SEGMENTS {
+            let mut list = SgList::new();
+            for seg in segments {
+                list.push(seg);
+            }
+            list
+        } else {
+            SgList {
+                repr: Repr::Heap(segments),
+            }
+        }
     }
 
     /// Creates a single-segment list.
     pub fn single(addr: GuestAddr, len: u32) -> Self {
-        SgList {
-            segments: vec![SgSegment::new(addr, len)],
-        }
+        let mut list = SgList::new();
+        list.push(SgSegment::new(addr, len));
+        list
     }
 
     /// Appends a segment.
     pub fn push(&mut self, segment: SgSegment) {
-        self.segments.push(segment);
+        match &mut self.repr {
+            Repr::Inline { len, buf } => {
+                let n = usize::from(*len);
+                if n < Self::INLINE_SEGMENTS {
+                    buf[n] = segment;
+                    *len += 1;
+                } else {
+                    // Spill: grow past the inline bound once, then stay
+                    // on the heap.
+                    let mut vec = Vec::with_capacity(Self::INLINE_SEGMENTS * 2);
+                    vec.extend_from_slice(&buf[..n]);
+                    vec.push(segment);
+                    self.repr = Repr::Heap(vec);
+                }
+            }
+            Repr::Heap(vec) => vec.push(segment),
+        }
     }
 
     /// The segments, in order.
     pub fn segments(&self) -> &[SgSegment] {
-        &self.segments
+        match &self.repr {
+            Repr::Inline { len, buf } => &buf[..usize::from(*len)],
+            Repr::Heap(vec) => vec,
+        }
     }
 
     /// Number of segments.
     pub fn len(&self) -> usize {
-        self.segments.len()
+        self.segments().len()
     }
 
     /// Whether the list has no segments.
     pub fn is_empty(&self) -> bool {
-        self.segments.is_empty()
+        self.segments().is_empty()
+    }
+
+    /// Whether the segments are stored inline (no heap allocation).
+    pub fn is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Inline { .. })
     }
 
     /// Total byte length across all segments.
     pub fn total_len(&self) -> u64 {
-        self.segments.iter().map(|s| u64::from(s.len)).sum()
+        self.segments().iter().map(|s| u64::from(s.len)).sum()
     }
 
     /// Reads all segments from `ram` into one contiguous buffer.
@@ -98,7 +169,7 @@ impl SgList {
     /// memory size.
     pub fn gather(&self, ram: &GuestRam) -> Result<Vec<u8>, MemError> {
         let mut out = Vec::with_capacity(self.total_len() as usize);
-        for seg in &self.segments {
+        for seg in self.segments() {
             out.extend_from_slice(&ram.read_vec(seg.addr, u64::from(seg.len))?);
         }
         Ok(out)
@@ -113,7 +184,7 @@ impl SgList {
     /// memory size; earlier segments may already have been written.
     pub fn scatter(&self, ram: &mut GuestRam, data: &[u8]) -> Result<u64, MemError> {
         let mut offset = 0usize;
-        for seg in &self.segments {
+        for seg in self.segments() {
             if offset >= data.len() {
                 break;
             }
@@ -137,7 +208,7 @@ impl SgList {
         let mut head = SgList::new();
         let mut tail = SgList::new();
         let mut remaining = mid;
-        for seg in &self.segments {
+        for seg in self.segments() {
             if remaining == 0 {
                 tail.push(*seg);
             } else if u64::from(seg.len) <= remaining {
@@ -156,17 +227,43 @@ impl SgList {
     }
 }
 
+impl Default for SgList {
+    fn default() -> Self {
+        SgList::new()
+    }
+}
+
+impl std::fmt::Debug for SgList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SgList")
+            .field("segments", &self.segments())
+            .finish()
+    }
+}
+
+impl PartialEq for SgList {
+    fn eq(&self, other: &Self) -> bool {
+        self.segments() == other.segments()
+    }
+}
+
+impl Eq for SgList {}
+
 impl FromIterator<SgSegment> for SgList {
     fn from_iter<I: IntoIterator<Item = SgSegment>>(iter: I) -> Self {
-        SgList {
-            segments: iter.into_iter().collect(),
+        let mut list = SgList::new();
+        for seg in iter {
+            list.push(seg);
         }
+        list
     }
 }
 
 impl Extend<SgSegment> for SgList {
     fn extend<I: IntoIterator<Item = SgSegment>>(&mut self, iter: I) {
-        self.segments.extend(iter);
+        for seg in iter {
+            self.push(seg);
+        }
     }
 }
 
@@ -274,6 +371,36 @@ mod tests {
         sg.extend([SgSegment::new(GuestAddr::new(900), 1)]);
         assert_eq!(sg.len(), 4);
         assert_eq!(sg.total_len(), 31);
+    }
+
+    #[test]
+    fn short_lists_stay_inline_and_spill_transparently() {
+        let mut sg = SgList::new();
+        for i in 0..SgList::INLINE_SEGMENTS {
+            sg.push(SgSegment::new(GuestAddr::new(i as u64 * 0x100), 8));
+            assert!(sg.is_inline(), "fits inline up to the bound");
+        }
+        let inline_copy = sg.clone();
+        sg.push(SgSegment::new(GuestAddr::new(0x9000), 8));
+        assert!(!sg.is_inline(), "one past the bound spills to the heap");
+        assert_eq!(sg.len(), SgList::INLINE_SEGMENTS + 1);
+        // The first INLINE_SEGMENTS entries survived the spill intact.
+        assert_eq!(
+            &sg.segments()[..SgList::INLINE_SEGMENTS],
+            inline_copy.segments()
+        );
+    }
+
+    #[test]
+    fn equality_ignores_representation() {
+        let long: Vec<SgSegment> = (0..6)
+            .map(|i| SgSegment::new(GuestAddr::new(i * 10), 1))
+            .collect();
+        let heap = SgList::from_segments(long.clone());
+        let pushed: SgList = long.into_iter().collect();
+        assert!(!heap.is_inline());
+        assert_eq!(heap, pushed);
+        assert_eq!(format!("{heap:?}"), format!("{pushed:?}"));
     }
 
     #[test]

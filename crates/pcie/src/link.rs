@@ -221,13 +221,11 @@ mod tests {
         PcieLink::new(LinkGen::Gen3, 3, SimDuration::ZERO);
     }
 
-    // The fault injector is process-global: tests that arm plans (or
-    // assert the unarmed identity) serialise on this lock.
-    static FAULT_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    // The fault injector is thread-local and each test runs on its own
+    // thread, so fault tests need no serialization.
 
     #[test]
     fn register_access_at_is_identity_when_unarmed() {
-        let _g = FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
         bmhive_faults::disarm();
         let link = PcieLink::iobond_fpga_x4();
         assert_eq!(
@@ -238,7 +236,6 @@ mod tests {
 
     #[test]
     fn link_flap_and_spike_inflate_register_access() {
-        let _g = FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
         let mut plan = bmhive_faults::FaultPlan::new("pcie-test");
         plan.push(bmhive_faults::FaultEvent::window(
             SimTime::from_micros(100),

@@ -69,6 +69,37 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Creates an empty queue with room for `capacity` pending events
+    /// before the backing heap reallocates. Callers that know their
+    /// steady-state event population (one slot per inflight operation)
+    /// use this to keep the schedule/pop hot path allocation-free.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            seq: 0,
+            last_popped: SimTime::ZERO,
+        }
+    }
+
+    /// Reserves room for at least `additional` more pending events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// Drops all pending events and rewinds the clock to
+    /// [`SimTime::ZERO`], retaining the heap's allocation so the queue
+    /// can be reused for a fresh run without reallocating.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.seq = 0;
+        self.last_popped = SimTime::ZERO;
+    }
+
+    /// Pending event slots available without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Schedules `event` to fire at `time`.
     ///
     /// Scheduling in the past (before the last popped event) is allowed at
@@ -183,6 +214,24 @@ mod tests {
         q.schedule(SimTime::from_nanos(9), ());
         q.pop();
         assert_eq!(q.now(), SimTime::from_nanos(9));
+    }
+
+    #[test]
+    fn clear_rewinds_and_keeps_capacity() {
+        let mut q = EventQueue::with_capacity(64);
+        let cap = q.capacity();
+        assert!(cap >= 64);
+        for i in 0..50u64 {
+            q.schedule(SimTime::from_nanos(i), i);
+        }
+        q.pop();
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.capacity(), cap);
+        // After clear, scheduling "before" the old clock is legal again.
+        q.schedule(SimTime::from_nanos(1), 99);
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(1), 99)));
     }
 
     #[test]

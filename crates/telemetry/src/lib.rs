@@ -17,21 +17,22 @@
 //! * [`export`] — Chrome `trace_event` JSON (loadable in
 //!   `chrome://tracing`), JSONL, and plain-text reports.
 //!
-//! # The global collector
+//! # The thread-local collector
 //!
 //! Instrumentation in the other crates records through the free
 //! functions here ([`span()`], [`counter`], [`timer`], …), which funnel
-//! into one process-global collector. It is **off by default**: every
-//! record function first checks one relaxed atomic and returns
-//! immediately, so benches and tests that never call
+//! into a collector scoped to the *current thread*. It is **off by
+//! default**: every record function first checks one thread-local flag
+//! and returns immediately, so benches and tests that never call
 //! [`set_enabled`]`(true)` pay a load-and-branch per site and nothing
 //! else — and the no-op mode has zero side effects.
 //!
-//! Deterministic ordering is guaranteed for single-threaded recording
-//! (the `repro` binary and the experiment harness are single-threaded);
-//! concurrent recorders serialise on a mutex but interleave
-//! nondeterministically, so multi-threaded users should capture into
-//! their own [`Collector`] instead.
+//! Because the collector is per-thread, recording is deterministic
+//! without any locking: a thread's trace is a pure function of the
+//! operations it performed, no matter how many sibling threads record
+//! concurrently. The parallel sweep engine leans on this — each worker
+//! enables telemetry, runs a cell, snapshots, and gets bytes identical
+//! to a serial run of the same cell.
 //!
 //! # Example
 //!
@@ -63,54 +64,52 @@ pub use report::{Attribution, AttributionRow};
 pub use span::{AttrValue, Collector, SpanEvent, SpanId, DEFAULT_CAPACITY};
 
 use bmhive_sim::{SimDuration, SimTime};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::cell::{Cell, RefCell};
 
-/// The process-global collector + registry pair.
+/// The per-thread collector + registry pair.
 struct Global {
     collector: Collector,
     registry: Registry,
 }
 
-static ENABLED: AtomicBool = AtomicBool::new(false);
-
-fn global() -> MutexGuard<'static, Global> {
-    static GLOBAL: OnceLock<Mutex<Global>> = OnceLock::new();
-    GLOBAL
-        .get_or_init(|| {
-            Mutex::new(Global {
-                collector: Collector::new(DEFAULT_CAPACITY),
-                registry: Registry::new(),
-            })
-        })
-        .lock()
-        // A panic while holding the lock (e.g. a failing assertion in a
-        // test) must not cascade into every later telemetry call.
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
+thread_local! {
+    /// Fast-path flag. Kept separate from `GLOBAL` so a disabled
+    /// thread never materialises the collector's ring buffer.
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static GLOBAL: RefCell<Global> = RefCell::new(Global {
+        collector: Collector::new(DEFAULT_CAPACITY),
+        registry: Registry::new(),
+    });
 }
 
-/// Whether global recording is on. One relaxed atomic load — the cost
-/// every instrumentation site pays when telemetry is off.
+fn with_global<R>(f: impl FnOnce(&mut Global) -> R) -> R {
+    GLOBAL.with(|g| f(&mut g.borrow_mut()))
+}
+
+/// Whether recording is on for this thread. One thread-local flag load
+/// — the cost every instrumentation site pays when telemetry is off.
 #[inline]
 pub fn is_enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    ENABLED.with(|e| e.get())
 }
 
-/// Turns global recording on or off. Off is the default; turning it
-/// off does not discard what was already recorded (call [`reset`]).
+/// Turns recording on or off for this thread. Off is the default;
+/// turning it off does not discard what was already recorded (call
+/// [`reset`]).
 pub fn set_enabled(on: bool) {
-    ENABLED.store(on, Ordering::Relaxed);
+    ENABLED.with(|e| e.set(on));
 }
 
-/// Clears the global trace and metrics; sequence numbering restarts so
-/// the next run reproduces a fresh-process trace exactly.
+/// Clears this thread's trace and metrics; sequence numbering restarts
+/// so the next run reproduces a fresh-process trace exactly.
 pub fn reset() {
-    let mut g = global();
-    g.collector.clear();
-    g.registry.clear();
+    with_global(|g| {
+        g.collector.clear();
+        g.registry.clear();
+    });
 }
 
-/// A point-in-time copy of everything recorded globally.
+/// A point-in-time copy of everything recorded on this thread.
 #[derive(Debug, Clone)]
 pub struct Snapshot {
     /// Closed spans in `seq` (open) order.
@@ -121,28 +120,28 @@ pub struct Snapshot {
     pub dropped: u64,
 }
 
-/// Copies the global trace (in deterministic `seq` order) and metrics.
+/// Copies this thread's trace (in deterministic `seq` order) and
+/// metrics.
 pub fn snapshot() -> Snapshot {
-    let g = global();
-    Snapshot {
+    with_global(|g| Snapshot {
         events: g.collector.events_by_seq(),
         registry: g.registry.clone(),
         dropped: g.collector.dropped(),
-    }
+    })
 }
 
-/// Records a complete span globally. No-op while disabled.
+/// Records a complete span. No-op while disabled.
 #[inline]
 pub fn span(component: &'static str, label: impl Into<String>, start: SimTime, d: SimDuration) {
     if is_enabled() {
-        global().collector.span(component, label, start, d);
+        with_global(|g| g.collector.span(component, label, start, d));
     }
 }
 
-/// Records a complete span with attributes globally. No-op while
-/// disabled (the attribute vector is only built by callers after an
-/// [`is_enabled`] check or inside [`span_with`]'s closure-free call,
-/// so disabled runs never allocate).
+/// Records a complete span with attributes. No-op while disabled (the
+/// attribute vector is only built by callers after an [`is_enabled`]
+/// check or inside [`span_with`]'s closure-free call, so disabled runs
+/// never allocate).
 #[inline]
 pub fn span_with(
     component: &'static str,
@@ -152,13 +151,11 @@ pub fn span_with(
     attrs: Vec<(&'static str, AttrValue)>,
 ) {
     if is_enabled() {
-        global()
-            .collector
-            .span_with(component, label, start, d, attrs);
+        with_global(|g| g.collector.span_with(component, label, start, d, attrs));
     }
 }
 
-/// A token from [`begin`]: either a live global span or a no-op marker
+/// A token from [`begin`]: either a live span or a no-op marker
 /// recorded while telemetry was disabled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ScopeToken(Option<SpanId>);
@@ -168,12 +165,14 @@ impl ScopeToken {
     pub const NOOP: ScopeToken = ScopeToken(None);
 }
 
-/// Opens a nesting span globally; spans recorded before the matching
-/// [`end`] become its children. Returns a no-op token while disabled.
+/// Opens a nesting span; spans recorded before the matching [`end`]
+/// become its children. Returns a no-op token while disabled.
 #[inline]
 pub fn begin(component: &'static str, label: impl Into<String>, start: SimTime) -> ScopeToken {
     if is_enabled() {
-        ScopeToken(Some(global().collector.begin(component, label, start)))
+        ScopeToken(Some(with_global(|g| {
+            g.collector.begin(component, label, start)
+        })))
     } else {
         ScopeToken::NOOP
     }
@@ -185,32 +184,41 @@ pub fn begin(component: &'static str, label: impl Into<String>, start: SimTime) 
 #[inline]
 pub fn end(token: ScopeToken, at: SimTime) {
     if let ScopeToken(Some(id)) = token {
-        global().collector.end(id, at);
+        with_global(|g| g.collector.end(id, at));
     }
 }
 
-/// Adds to a global counter. No-op while disabled.
+/// Adds to a counter. No-op while disabled.
 #[inline]
 pub fn counter(name: &str, delta: u64) {
     if is_enabled() {
-        global().registry.counter_add(name, delta);
+        with_global(|g| g.registry.counter_add(name, delta));
     }
 }
 
-/// Sets a global gauge. No-op while disabled.
+/// Sets a gauge. No-op while disabled.
 #[inline]
 pub fn gauge(name: &str, value: f64) {
     if is_enabled() {
-        global().registry.gauge_set(name, value);
+        with_global(|g| g.registry.gauge_set(name, value));
     }
 }
 
-/// Records a duration sample into a global timer. No-op while
-/// disabled.
+/// Raises a gauge to `value` if `value` exceeds its current reading
+/// (or the gauge is unset). No-op while disabled. Used for
+/// peak-tracking gauges such as queue depths.
+#[inline]
+pub fn gauge_max(name: &str, value: f64) {
+    if is_enabled() {
+        with_global(|g| g.registry.gauge_max(name, value));
+    }
+}
+
+/// Records a duration sample into a timer. No-op while disabled.
 #[inline]
 pub fn timer(name: &str, d: SimDuration) {
     if is_enabled() {
-        global().registry.timer_record(name, d);
+        with_global(|g| g.registry.timer_record(name, d));
     }
 }
 
@@ -218,16 +226,11 @@ pub fn timer(name: &str, d: SimDuration) {
 mod tests {
     use super::*;
 
-    // Global-state tests share one lock so `cargo test`'s threaded
-    // runner cannot interleave their enable/record/disable windows.
-    fn serial() -> MutexGuard<'static, ()> {
-        static LOCK: Mutex<()> = Mutex::new(());
-        LOCK.lock().unwrap_or_else(|p| p.into_inner())
-    }
+    // The collector is thread-local and `cargo test` runs each test on
+    // its own thread, so no serialization lock is needed.
 
     #[test]
     fn disabled_recording_has_zero_side_effects() {
-        let _s = serial();
         set_enabled(false);
         reset();
         let before = snapshot();
@@ -236,6 +239,7 @@ mod tests {
         end(t, SimTime::from_nanos(5));
         counter("c", 1);
         gauge("g", 1.0);
+        gauge_max("gm", 2.0);
         timer("t", SimDuration::from_nanos(1));
         let after = snapshot();
         assert_eq!(before.events.len(), 0);
@@ -246,7 +250,6 @@ mod tests {
 
     #[test]
     fn enabled_recording_round_trips() {
-        let _s = serial();
         set_enabled(true);
         reset();
         let op = begin("server", "op", SimTime::ZERO);
@@ -265,7 +268,6 @@ mod tests {
 
     #[test]
     fn same_input_same_trace_bytes() {
-        let _s = serial();
         let run = || {
             set_enabled(true);
             reset();
@@ -292,7 +294,6 @@ mod tests {
 
     #[test]
     fn disabled_begin_token_noops_after_reenable() {
-        let _s = serial();
         set_enabled(false);
         reset();
         let token = begin("a", "x", SimTime::ZERO);
@@ -300,5 +301,42 @@ mod tests {
         end(token, SimTime::from_nanos(1)); // must not panic or record
         assert_eq!(snapshot().events.len(), 0);
         set_enabled(false);
+    }
+
+    #[test]
+    fn recording_is_isolated_per_thread() {
+        set_enabled(true);
+        reset();
+        span("main", "here", SimTime::ZERO, SimDuration::from_nanos(1));
+        let sibling = std::thread::spawn(|| {
+            // Fresh thread: disabled, empty, independent.
+            assert!(!is_enabled());
+            set_enabled(true);
+            reset();
+            span("sib", "there", SimTime::ZERO, SimDuration::from_nanos(2));
+            let snap = snapshot();
+            set_enabled(false);
+            snap
+        })
+        .join()
+        .unwrap();
+        let snap = snapshot();
+        set_enabled(false);
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(snap.events[0].component, "main");
+        assert_eq!(sibling.events.len(), 1);
+        assert_eq!(sibling.events[0].component, "sib");
+    }
+
+    #[test]
+    fn gauge_max_tracks_the_peak() {
+        set_enabled(true);
+        reset();
+        gauge_max("depth", 3.0);
+        gauge_max("depth", 7.0);
+        gauge_max("depth", 5.0);
+        let snap = snapshot();
+        set_enabled(false);
+        assert_eq!(snap.registry.gauge("depth"), Some(7.0));
     }
 }

@@ -56,6 +56,21 @@ impl Registry {
         self.gauges.get(name).copied()
     }
 
+    /// Raises the named gauge to `value` if it exceeds the current
+    /// reading (or the gauge is unset). Peak-tracking gauges (queue
+    /// depths, inflight counts) use this so the registry records the
+    /// high-water mark rather than the last sample.
+    pub fn gauge_max(&mut self, name: &str, value: f64) {
+        self.gauges
+            .entry(name.to_string())
+            .and_modify(|cur| {
+                if value > *cur {
+                    *cur = value;
+                }
+            })
+            .or_insert(value);
+    }
+
     /// Records one duration sample (in microseconds) into the named
     /// timer histogram, creating it on first use.
     pub fn timer_record(&mut self, name: &str, d: SimDuration) {
@@ -158,6 +173,15 @@ mod tests {
         r.gauge_set("g", 2.5);
         assert_eq!(r.gauge("g"), Some(2.5));
         assert_eq!(r.gauge("missing"), None);
+    }
+
+    #[test]
+    fn gauge_max_keeps_the_high_water_mark() {
+        let mut r = Registry::new();
+        r.gauge_max("g", 2.0);
+        r.gauge_max("g", 5.0);
+        r.gauge_max("g", 3.0);
+        assert_eq!(r.gauge("g"), Some(5.0));
     }
 
     #[test]

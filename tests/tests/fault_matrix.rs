@@ -5,15 +5,9 @@
 //! keeps the property enforced by `cargo test` alone.
 
 use bmhive_faults as faults;
-use std::sync::{Mutex, MutexGuard};
 
-/// The injector is process-global; the tests in this binary serialise
-/// on this lock so arming in one never leaks into another.
-static SERIAL: Mutex<()> = Mutex::new(());
-
-fn serial() -> MutexGuard<'static, ()> {
-    SERIAL.lock().unwrap_or_else(|p| p.into_inner())
-}
+// The injector is thread-local and each test runs on its own thread,
+// so arming in one test can never leak into another.
 
 /// The whole experiment under one plan: rendered text (includes the
 /// fault-stats block) plus the final stats.
@@ -28,7 +22,6 @@ fn run_plan(name: &str, seed: u64) -> (String, faults::FaultStats) {
 
 #[test]
 fn every_canned_plan_injects_and_recovers() {
-    let _guard = serial();
     for name in faults::CANNED_PLAN_NAMES {
         let (text, stats) = run_plan(name, 42);
         assert!(
@@ -49,7 +42,6 @@ fn every_canned_plan_injects_and_recovers() {
 
 #[test]
 fn every_canned_plan_is_deterministic_in_seed() {
-    let _guard = serial();
     for name in faults::CANNED_PLAN_NAMES {
         let (a, sa) = run_plan(name, 7);
         let (b, sb) = run_plan(name, 7);
@@ -87,7 +79,6 @@ fn plan_files_match_the_canned_plans() {
 
 #[test]
 fn clean_run_reports_disarmed_engine() {
-    let _guard = serial();
     // No plan armed: the experiment renders the clean baseline and
     // says so (the injector fast path must stay inert).
     assert!(!faults::is_armed());

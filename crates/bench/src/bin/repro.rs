@@ -302,6 +302,7 @@ fn bench_main(args: &[String]) -> ExitCode {
     let mut repeats = 3u32;
     let mut out_path: Option<PathBuf> = None;
     let mut check_path: Option<PathBuf> = None;
+    let mut compare_out: Option<PathBuf> = None;
     let mut tolerance = 0.25f64;
     let mut experiments: Vec<String> = Vec::new();
     let mut args = args.iter().cloned();
@@ -332,6 +333,13 @@ fn bench_main(args: &[String]) -> ExitCode {
                 Some(path) => check_path = Some(path.into()),
                 None => {
                     eprintln!("--check requires a baseline JSON file");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--compare-out" => match args.next() {
+                Some(path) => compare_out = Some(path.into()),
+                None => {
+                    eprintln!("--compare-out requires a file path (needs --check)");
                     return ExitCode::FAILURE;
                 }
             },
@@ -415,7 +423,18 @@ fn bench_main(args: &[String]) -> ExitCode {
         eprintln!("[bench] wrote {}", path.display());
     }
 
+    if compare_out.is_some() && baseline.is_none() {
+        eprintln!("--compare-out needs --check to provide the baseline");
+        return ExitCode::FAILURE;
+    }
     if let Some(baseline) = &baseline {
+        if let Some(path) = &compare_out {
+            if let Err(e) = std::fs::write(path, report.comparison_table(baseline)) {
+                eprintln!("cannot write --compare-out {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("[bench] wrote comparison table to {}", path.display());
+        }
         let problems = report.check_against(baseline, tolerance);
         if problems.is_empty() {
             eprintln!(
@@ -520,7 +539,7 @@ fn print_sweep_help() {
 fn print_bench_help() {
     println!("repro bench — time each experiment and track the benchmark trajectory");
     println!();
-    println!("USAGE: repro bench [--seed N] [--repeat R] [--out FILE] [--check FILE] [--tolerance F] [experiment ...]");
+    println!("USAGE: repro bench [--seed N] [--repeat R] [--out FILE] [--check FILE] [--compare-out FILE] [--tolerance F] [experiment ...]");
     println!();
     println!("  --seed N        seed for every experiment (default 1)");
     println!(
@@ -532,6 +551,7 @@ fn print_bench_help() {
         "                  normalized by the total-time ratio first, so a uniformly faster or"
     );
     println!("                  slower machine does not trip the check");
+    println!("  --compare-out FILE  write a before/after table vs the --check baseline");
     println!(
         "  --tolerance F   allowed per-experiment slowdown after normalization (default 0.25)"
     );

@@ -27,7 +27,8 @@ pub struct ExperimentBench {
     /// Minimum wall time over the untraced repeats, in nanoseconds.
     pub wall_ns: u64,
     /// Telemetry spans the experiment emitted (recorded + dropped by
-    /// the ring buffer) — a deterministic proxy for simulated events.
+    /// the ring buffer) plus the sim-side event tally the drivers
+    /// report — a deterministic proxy for simulated events.
     pub events: u64,
     /// `events` divided by the minimum wall time.
     pub events_per_sec: f64,
@@ -80,7 +81,7 @@ pub fn run_bench(experiments: &[String], seed: u64, repeats: u32) -> Result<Benc
         let snap = telemetry::snapshot();
         telemetry::set_enabled(false);
         telemetry::reset();
-        let events = snap.events.len() as u64 + snap.dropped;
+        let events = snap.events.len() as u64 + snap.dropped + snap.sim_events;
         let events_per_sec = if wall_ns > 0 {
             events as f64 / (wall_ns as f64 / 1e9)
         } else {
@@ -223,9 +224,95 @@ impl BenchReport {
                     base.wall_ns as f64 / 1e6,
                     scale,
                 ));
+            } else if base.events > 0 && base.events_per_sec > 0.0 {
+                // Throughput gate for experiments with a nonzero event
+                // tally: events/sec must stay within `tolerance` of the
+                // machine-scale-normalized baseline. This catches runs
+                // whose wall time holds but whose event yield collapsed
+                // (e.g. a driver stopped reporting its tally). The wall
+                // slack rationale applies here too: microsecond-scale
+                // experiments jitter past any relative bound, so the
+                // gate only covers runs longer than the slack.
+                let expected_eps = base.events_per_sec / scale;
+                if cur.events_per_sec * (1.0 + tolerance) < expected_eps
+                    && cur.wall_ns as f64 > Self::ABS_SLACK_NS
+                {
+                    problems.push(format!(
+                        "{}: events/sec {:.0} regressed more than {:.0}% below the scaled \
+                         baseline {:.0} (machine scale {:.2}x)",
+                        base.experiment,
+                        cur.events_per_sec,
+                        tolerance * 100.0,
+                        expected_eps,
+                        scale,
+                    ));
+                }
             }
         }
         problems
+    }
+
+    /// Renders a before/after comparison against `baseline` as an
+    /// aligned text table: one row per experiment in this run's order
+    /// plus a totals row. CI uploads this as the bench comparison
+    /// artifact.
+    pub fn comparison_table(&self, baseline: &BenchReport) -> String {
+        let pct = |base: f64, cur: f64| {
+            if base > 0.0 {
+                format!("{:+.1}%", (cur / base - 1.0) * 100.0)
+            } else {
+                "n/a".to_string()
+            }
+        };
+        let mut out = String::new();
+        writeln!(
+            out,
+            "{:<10} | {:>11} | {:>11} | {:>8} | {:>13} | {:>13} | {:>8}",
+            "experiment", "base ms", "cur ms", "wall", "base ev/s", "cur ev/s", "ev/s"
+        )
+        .unwrap();
+        for cur in &self.results {
+            match baseline
+                .results
+                .iter()
+                .find(|b| b.experiment == cur.experiment)
+            {
+                Some(base) => writeln!(
+                    out,
+                    "{:<10} | {:>11.3} | {:>11.3} | {:>8} | {:>13.0} | {:>13.0} | {:>8}",
+                    cur.experiment,
+                    base.wall_ns as f64 / 1e6,
+                    cur.wall_ns as f64 / 1e6,
+                    pct(base.wall_ns as f64, cur.wall_ns as f64),
+                    base.events_per_sec,
+                    cur.events_per_sec,
+                    pct(base.events_per_sec, cur.events_per_sec),
+                )
+                .unwrap(),
+                None => writeln!(
+                    out,
+                    "{:<10} | {:>11} | {:>11.3} | {:>8} | {:>13} | {:>13.0} | {:>8}",
+                    cur.experiment,
+                    "-",
+                    cur.wall_ns as f64 / 1e6,
+                    "new",
+                    "-",
+                    cur.events_per_sec,
+                    "new",
+                )
+                .unwrap(),
+            }
+        }
+        writeln!(
+            out,
+            "{:<10} | {:>11.3} | {:>11.3} | {:>8} |",
+            "total",
+            baseline.total_wall_ns() as f64 / 1e6,
+            self.total_wall_ns() as f64 / 1e6,
+            pct(baseline.total_wall_ns() as f64, self.total_wall_ns() as f64),
+        )
+        .unwrap();
+        out
     }
 }
 
@@ -243,7 +330,7 @@ mod tests {
                     experiment: id.to_string(),
                     wall_ns,
                     events: 10,
-                    events_per_sec: 1.0,
+                    events_per_sec: 10.0 / (wall_ns as f64 / 1e9),
                     peak_queue_depth: 4.0,
                 })
                 .collect(),
@@ -302,6 +389,31 @@ mod tests {
         let problems = current.check_against(&baseline, 0.25);
         assert_eq!(problems.len(), 1, "{problems:?}");
         assert!(problems[0].starts_with("b:"), "{problems:?}");
+    }
+
+    #[test]
+    fn throughput_regression_is_flagged_even_when_wall_holds() {
+        let baseline = report(&[("a", 10_000_000)]);
+        let mut current = report(&[("a", 10_000_000)]);
+        // A different seed, so the event-count check does not apply;
+        // the wall time held but half the events disappeared.
+        current.seed = 2;
+        current.results[0].events = 5;
+        current.results[0].events_per_sec = 500.0;
+        let problems = current.check_against(&baseline, 0.25);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("events/sec"), "{problems:?}");
+    }
+
+    #[test]
+    fn comparison_table_lists_every_experiment_and_totals() {
+        let baseline = report(&[("a", 10_000_000), ("b", 20_000_000)]);
+        let current = report(&[("a", 5_000_000), ("b", 20_000_000)]);
+        let table = current.comparison_table(&baseline);
+        assert!(table.contains("experiment"), "{table}");
+        assert!(table.lines().any(|l| l.starts_with("a ")), "{table}");
+        assert!(table.lines().any(|l| l.starts_with("total")), "{table}");
+        assert!(table.contains("-50.0%"), "{table}");
     }
 
     #[test]

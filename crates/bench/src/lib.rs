@@ -18,6 +18,7 @@ use bmhive_cloud::security::{ServiceKind, ServiceProfile};
 use bmhive_cpu::nested::NestedVirtModel;
 use bmhive_hypervisor::IoPath;
 use bmhive_iobond::{steps, IoBondProfile};
+use bmhive_telemetry as telemetry;
 use bmhive_workloads::sockperf::LatencyTool;
 use bmhive_workloads::{
     env::GuestEnv, fio, mariadb, netperf, nginx, redis, sockperf, spec, stream,
@@ -41,6 +42,7 @@ pub fn table1() -> String {
         )
         .unwrap();
     }
+    telemetry::add_events(ServiceKind::ALL.len() as u64);
     out
 }
 
@@ -149,6 +151,7 @@ pub fn table3() -> String {
         "limits per instance: 4M PPS, 10 Gbit/s, 25K IOPS, 300 MB/s"
     )
     .unwrap();
+    telemetry::add_events(INSTANCE_CATALOG.len() as u64);
     out
 }
 
@@ -567,6 +570,7 @@ pub fn cost() -> String {
         model.density_advantage()
     )
     .unwrap();
+    telemetry::add_events(3);
     out
 }
 
@@ -597,6 +601,7 @@ pub fn nested() -> String {
         model.bm_hive_relative() * 100.0
     )
     .unwrap();
+    telemetry::add_events(3);
     out
 }
 
@@ -696,6 +701,7 @@ pub fn asic() -> String {
         asic_path.max_pps_kernel() / 1e6
     )
     .unwrap();
+    telemetry::add_events(4);
     out
 }
 
@@ -755,6 +761,7 @@ pub fn offload() -> String {
         )
         .unwrap();
     }
+    telemetry::add_events(2 + bmhive_hypervisor::BackendMode::ALL.len() as u64 + 2);
     out
 }
 
@@ -805,6 +812,7 @@ pub fn sgx() -> String {
         "(paper: SGX 'does not work well in virtual machines'; BM-Hive runs it natively)"
     )
     .unwrap();
+    telemetry::add_events(3);
     out
 }
 

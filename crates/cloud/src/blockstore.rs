@@ -45,6 +45,14 @@ pub struct BlockStore {
     class: StorageClass,
     channels: MultiResource,
     rng: SimRng,
+    /// `(ln(mu_us), sigma)` for reads and writes, computed once at
+    /// construction so the per-I/O path skips the `ln()`. Sampling is
+    /// bit-identical to passing `mu_us.ln()` at each call.
+    read_params: (f64, f64),
+    write_params: (f64, f64),
+    /// Per-channel streaming transfer cost in ns per byte
+    /// (`8 / gbps`), precomputed so the per-I/O path divides nowhere.
+    ns_per_byte: f64,
     ops: u64,
     bytes: u64,
 }
@@ -57,10 +65,26 @@ impl BlockStore {
             StorageClass::CloudSsd => 16, // a striped cloud volume
             StorageClass::LocalSsd => 8,  // NVMe queue pairs
         };
+        // Log-normal flash latencies; the sigma carries the intrinsic
+        // tail (GC pauses, read retries).
+        let (read_params, write_params): ((f64, f64), (f64, f64)) = match class {
+            // Cloud: ~55 µs network round trip + ~85 µs flash read;
+            // writes land in the replica's NVRAM buffer: lower median.
+            StorageClass::CloudSsd => ((140.0f64.ln(), 0.25), (100.0f64.ln(), 0.22)),
+            StorageClass::LocalSsd => ((48.0f64.ln(), 0.18), (14.0f64.ln(), 0.20)),
+        };
+        // Per-channel streaming bandwidth.
+        let gbps = match class {
+            StorageClass::CloudSsd => 8.0,
+            StorageClass::LocalSsd => 12.0,
+        };
         BlockStore {
             class,
             channels: MultiResource::new(channels),
             rng: SimRng::with_stream(seed, 0xb10c),
+            read_params,
+            write_params,
+            ns_per_byte: 8.0 / gbps,
             ops: 0,
             bytes: 0,
         }
@@ -72,27 +96,16 @@ impl BlockStore {
     }
 
     fn base_latency(&mut self, kind: IoKind) -> SimDuration {
-        // Log-normal flash latencies; the sigma carries the intrinsic
-        // tail (GC pauses, read retries).
-        let (mu_us, sigma): (f64, f64) = match (self.class, kind) {
-            // Cloud: ~55 µs network round trip + ~85 µs flash read.
-            (StorageClass::CloudSsd, IoKind::Read) => (140.0, 0.25),
-            // Writes land in the replica's NVRAM buffer: lower median.
-            (StorageClass::CloudSsd, IoKind::Write) => (100.0, 0.22),
-            (StorageClass::LocalSsd, IoKind::Read) => (48.0, 0.18),
-            (StorageClass::LocalSsd, IoKind::Write) => (14.0, 0.20),
+        let (ln_mu, sigma) = match kind {
+            IoKind::Read => self.read_params,
+            IoKind::Write => self.write_params,
         };
-        let sampled = self.rng.lognormal(mu_us.ln(), sigma);
+        let sampled = self.rng.lognormal(ln_mu, sigma);
         SimDuration::from_micros_f64(sampled)
     }
 
     fn transfer_time(&self, bytes: u64) -> SimDuration {
-        // Per-channel streaming bandwidth.
-        let gbps = match self.class {
-            StorageClass::CloudSsd => 8.0,
-            StorageClass::LocalSsd => 12.0,
-        };
-        SimDuration::from_secs_f64(bytes as f64 * 8.0 / (gbps * 1e9))
+        SimDuration::from_nanos((bytes as f64 * self.ns_per_byte).round() as u64)
     }
 
     /// Submits one I/O of `bytes` at `now`; returns its completion.

@@ -172,20 +172,69 @@ impl PreemptionModel {
 
     /// Samples one VM's long-run preemption fraction.
     pub fn sample(&self, rng: &mut SimRng) -> f64 {
-        if self.median <= 0.0 {
-            return 0.0;
+        self.sampler().sample(rng)
+    }
+
+    /// Precomputes the sampling constants (`ln median`, the diurnal
+    /// load curve) so bulk studies don't redo the transcendentals per
+    /// sample. The samples drawn are bit-identical to [`Self::sample`] /
+    /// [`Self::sample_at_hour`].
+    pub fn sampler(&self) -> PreemptionSampler {
+        PreemptionSampler {
+            ln_median: if self.median > 0.0 {
+                self.median.ln()
+            } else {
+                f64::NEG_INFINITY
+            },
+            sigma: self.sigma,
+            cap: self.cap,
+            degenerate: self.median <= 0.0,
         }
-        (rng.lognormal(self.median.ln(), self.sigma)).min(self.cap)
     }
 
     /// Samples the fraction for a given hour of day: preemption tracks
     /// the host's diurnal I/O load (the x-axis variation in Fig. 1).
     pub fn sample_at_hour(&self, rng: &mut SimRng, hour: u32) -> f64 {
-        let hour = hour % 24;
-        // Daytime peak: load factor 0.7–1.5 over the day.
-        let phase = (f64::from(hour) - 14.0) / 24.0 * std::f64::consts::TAU;
-        let load = 1.1 + 0.4 * phase.cos();
+        self.sampler().sample_at_hour(rng, hour)
+    }
+}
+
+/// The diurnal host-load factor for an hour of day — the daytime peak
+/// that gives Fig. 1 its x-axis shape. Ranges 0.7–1.5 with the maximum
+/// at 14:00.
+pub fn diurnal_load(hour: u32) -> f64 {
+    let hour = hour % 24;
+    let phase = (f64::from(hour) - 14.0) / 24.0 * std::f64::consts::TAU;
+    1.1 + 0.4 * phase.cos()
+}
+
+/// A [`PreemptionModel`] with its per-sample constants hoisted.
+#[derive(Debug, Clone, Copy)]
+pub struct PreemptionSampler {
+    ln_median: f64,
+    sigma: f64,
+    cap: f64,
+    degenerate: bool,
+}
+
+impl PreemptionSampler {
+    /// Samples one VM's long-run preemption fraction.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        if self.degenerate {
+            return 0.0;
+        }
+        (rng.lognormal(self.ln_median, self.sigma)).min(self.cap)
+    }
+
+    /// Samples the fraction scaled by a precomputed [`diurnal_load`]
+    /// factor.
+    pub fn sample_at_load(&self, rng: &mut SimRng, load: f64) -> f64 {
         (self.sample(rng) * load).min(self.cap.max(1e-12))
+    }
+
+    /// Samples the fraction for a given hour of day.
+    pub fn sample_at_hour(&self, rng: &mut SimRng, hour: u32) -> f64 {
+        self.sample_at_load(rng, diurnal_load(hour))
     }
 }
 

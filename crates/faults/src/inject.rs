@@ -105,21 +105,31 @@ impl FaultContext {
         self.stats
     }
 
-    /// Latest end time over blocking windows at `site` covering `now`.
-    fn blocking_window_until(&self, site: FaultSite, now: SimTime) -> Option<SimTime> {
+    /// Latest end time over blocking windows at `site` covering
+    /// `probe`, without chaining.
+    fn covering_blocking_until(&self, site: FaultSite, probe: SimTime) -> Option<SimTime> {
         self.plan
             .events()
             .iter()
-            .filter(|ev| {
-                ev.site == site
-                    && ev.covers(now)
-                    && matches!(
-                        ev.kind,
-                        FaultKind::LinkFlap | FaultKind::DmaTimeout | FaultKind::MailboxStall
-                    )
-            })
+            .filter(|ev| ev.site == site && ev.covers(probe) && ev.kind.is_blocking())
             .map(|ev| ev.until())
             .max()
+    }
+
+    /// When the stall starting at `now` clears, under worst-of
+    /// semantics: overlapping blocking windows at the same site hand
+    /// the stall off to whichever covering window ends last, repeated
+    /// to a fixed point. The loop terminates because each step
+    /// strictly advances `until` and the plan is finite.
+    fn blocking_window_until(&self, site: FaultSite, now: SimTime) -> Option<SimTime> {
+        let mut until = self.covering_blocking_until(site, now)?;
+        while let Some(next) = self.covering_blocking_until(site, until) {
+            if next <= until {
+                break;
+            }
+            until = next;
+        }
+        Some(until)
     }
 }
 
@@ -282,18 +292,24 @@ pub fn armed_plan_name() -> Option<String> {
 }
 
 /// If a blocking window fault covers `now` at `site`, returns when the
-/// latest such window ends and records one affected operation.
+/// stall clears and records one affected operation. Overlapping
+/// blocking windows at the same site compose worst-of: the stall
+/// extends to the latest end reachable by chaining covering windows.
 pub fn blocking_until(site: FaultSite, now: SimTime) -> Option<SimTime> {
     if !is_armed() {
         return None;
     }
     with_context(None, |ctx| {
         let until = ctx.blocking_window_until(site, now)?;
+        // Attribute the stall to the covering-now window that ends
+        // last; under chaining, `until` may belong to a later window
+        // that does not cover `now` at all.
         let kind = ctx
             .plan
             .events()
             .iter()
-            .find(|ev| ev.site == site && ev.covers(now) && ev.until() == until)
+            .filter(|ev| ev.site == site && ev.covers(now) && ev.kind.is_blocking())
+            .max_by_key(|ev| ev.until())
             .map(|ev| ev.kind)
             .unwrap_or(FaultKind::LinkFlap);
         let key = format!("{}/{}", site.name(), kind.name());
@@ -548,6 +564,38 @@ mod tests {
         assert_eq!(blocking_until(FaultSite::Dma, us(120)), None);
         let stats = disarm().unwrap();
         assert_eq!(stats.injected.get("pcie/link-flap"), Some(&2));
+    }
+
+    #[test]
+    fn overlapping_blocking_windows_compose_worst_of() {
+        // Two mailbox stalls: [100, 150) and [140, 200). An operation
+        // stalled at 120 is not released at 150 — the second window
+        // already covers that instant — so the stall runs to 200.
+        let plan = plan_with(vec![
+            FaultEvent::window(
+                us(100),
+                FaultSite::Mailbox,
+                FaultKind::MailboxStall,
+                SimDuration::from_micros(50),
+            ),
+            FaultEvent::window(
+                us(140),
+                FaultSite::Mailbox,
+                FaultKind::MailboxStall,
+                SimDuration::from_micros(60),
+            ),
+        ]);
+        arm(plan, 1);
+        // Inside the first window only: chains through the overlap.
+        assert_eq!(blocking_until(FaultSite::Mailbox, us(120)), Some(us(200)));
+        // Inside the overlap and inside the second window alone.
+        assert_eq!(blocking_until(FaultSite::Mailbox, us(145)), Some(us(200)));
+        assert_eq!(blocking_until(FaultSite::Mailbox, us(160)), Some(us(200)));
+        // Clear outside both.
+        assert_eq!(blocking_until(FaultSite::Mailbox, us(99)), None);
+        assert_eq!(blocking_until(FaultSite::Mailbox, us(200)), None);
+        let stats = disarm().unwrap();
+        assert_eq!(stats.injected.get("mailbox/mailbox-stall"), Some(&3));
     }
 
     #[test]

@@ -158,6 +158,15 @@ impl FaultKind {
     pub fn uses_factor(self) -> bool {
         matches!(self, FaultKind::LatencySpike | FaultKind::Brownout)
     }
+
+    /// Blocking kinds stall the operation until their window closes
+    /// (as opposed to degrading it or firing once).
+    pub fn is_blocking(self) -> bool {
+        matches!(
+            self,
+            FaultKind::LinkFlap | FaultKind::DmaTimeout | FaultKind::MailboxStall
+        )
+    }
 }
 
 impl fmt::Display for FaultKind {

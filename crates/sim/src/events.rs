@@ -2,11 +2,53 @@
 //!
 //! [`EventQueue`] orders events by their scheduled [`SimTime`]; events
 //! scheduled for the same instant pop in insertion order (FIFO), which
-//! keeps simulations deterministic regardless of heap internals.
+//! keeps simulations deterministic regardless of queue internals.
+//!
+//! # Implementation: a deterministic hierarchical timer wheel
+//!
+//! The queue is a hashed hierarchical timer wheel (the structure DPDK
+//! and the Linux kernel use for timer management): `LEVELS` levels of
+//! `SLOTS` power-of-two buckets over the raw `SimTime` nanoseconds.
+//! Level `l` buckets are `2^(6l)` ns wide, so the wheel spans `2^48` ns
+//! (~3.2 simulated days) before falling back to a sorted overflow spill
+//! list. Schedule and pop are amortized O(1): an entry is appended to
+//! the bucket its time hashes to; a pop pulls the minimum straight out
+//! of the lowest occupied bucket, advancing the cursor to it and
+//! re-hashing only that bucket's survivors (each lands at a strictly
+//! lower level, because they share the level digit with the new
+//! cursor).
+//!
+//! Determinism: every pop selects the strict minimum `(time, seq)`
+//! pair, exactly like the binary-heap implementation this replaced
+//! (kept in the private `heap` module as the model for the randomized
+//! equivalence test). Buckets are scanned for the minimum rather than
+//! trusting vector order, because a cascaded batch can append
+//! older-`seq` entries behind newer direct inserts.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+
+/// log2 of the slot count per level.
+const BITS: u32 = 6;
+/// Slots per wheel level.
+const SLOTS: usize = 1 << BITS;
+/// Wheel levels; times more than `2^(BITS*LEVELS)` ns past the cursor
+/// spill to the sorted overflow list.
+const LEVELS: usize = 8;
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    time: u64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> Entry<E> {
+    #[inline]
+    fn key(&self) -> (u64, u64) {
+        (self.time, self.seq)
+    }
+}
 
 /// An event queue keyed by simulated time.
 ///
@@ -23,59 +65,69 @@ use std::collections::BinaryHeap;
 /// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
 /// assert_eq!(order, vec!['a', 'b', 'c']);
 /// ```
-#[derive(Debug)]
+/// Population at which a small queue spills from the unsorted front
+/// buffer into the wheel. Discrete-event hot loops (a handful of
+/// closed-loop workers, a small server pool) stay in the front buffer,
+/// where schedule is a branchless push and pop is a short min-scan;
+/// big populations (fleets, deep queues) amortize over the wheel.
+const FRONT_CAP: usize = 32;
+
+#[derive(Debug, Clone)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// `LEVELS * SLOTS` buckets, level-major.
+    buckets: Vec<Vec<Entry<E>>>,
+    /// Small-population fast path: an unsorted scratchpad of at most
+    /// [`FRONT_CAP`] entries. Schedule pushes, pop scans for the
+    /// `(time, seq)` minimum — at this size a predictable linear scan
+    /// beats both the heap's sifts and the wheel's bucket hashing.
+    /// Invariant: the front buffer and the wheel (buckets + overflow)
+    /// are never simultaneously non-empty — schedules go to the front
+    /// buffer only while the wheel is empty, and spill the whole
+    /// buffer into the wheel when it outgrows [`FRONT_CAP`].
+    front: Vec<Entry<E>>,
+    /// One occupancy bitmap per level (bit `s` = bucket `s` non-empty).
+    occupied: [u64; LEVELS],
+    /// Entries beyond the wheel span, ascending by `(time, seq)`.
+    overflow: Vec<Entry<E>>,
+    /// Entries scheduled before `last_popped`: kept so the next pop can
+    /// report the causality violation exactly like the heap did.
+    past: Vec<Entry<E>>,
+    /// Scratch vector reused by cascades, so steady-state pops never
+    /// allocate.
+    scratch: Vec<Entry<E>>,
+    /// Placement origin: entries hash into the wheel relative to this.
+    /// Advances to the base of the bucket being cascaded; always
+    /// `<= last_popped` and `<=` every pending wheel time.
+    cursor: u64,
+    len: usize,
+    cap: usize,
     seq: u64,
     last_popped: SimTime,
-}
-
-#[derive(Debug)]
-struct Entry<E> {
-    time: SimTime,
-    seq: u64,
-    event: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-
-impl<E> Eq for Entry<E> {}
-
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; reverse so the earliest (time, seq)
-        // pops first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
 }
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            seq: 0,
-            last_popped: SimTime::ZERO,
-        }
+        Self::with_capacity(0)
     }
 
     /// Creates an empty queue with room for `capacity` pending events
-    /// before the backing heap reallocates. Callers that know their
+    /// before the backing storage reallocates. Callers that know their
     /// steady-state event population (one slot per inflight operation)
     /// use this to keep the schedule/pop hot path allocation-free.
     pub fn with_capacity(capacity: usize) -> Self {
+        let mut buckets = Vec::with_capacity(LEVELS * SLOTS);
+        buckets.resize_with(LEVELS * SLOTS, Vec::new);
         EventQueue {
-            heap: BinaryHeap::with_capacity(capacity),
+            buckets,
+            front: Vec::new(),
+            occupied: [0; LEVELS],
+            overflow: Vec::new(),
+            past: Vec::new(),
+            scratch: Vec::new(),
+            cursor: 0,
+            len: 0,
+            cap: capacity,
             seq: 0,
             last_popped: SimTime::ZERO,
         }
@@ -83,21 +135,35 @@ impl<E> EventQueue<E> {
 
     /// Reserves room for at least `additional` more pending events.
     pub fn reserve(&mut self, additional: usize) {
-        self.heap.reserve(additional);
+        self.cap = self.cap.max(self.len + additional);
     }
 
     /// Drops all pending events and rewinds the clock to
-    /// [`SimTime::ZERO`], retaining the heap's allocation so the queue
-    /// can be reused for a fresh run without reallocating.
+    /// [`SimTime::ZERO`], retaining the buckets' allocations so the
+    /// queue can be reused for a fresh run without reallocating.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        for (level, occ) in self.occupied.iter_mut().enumerate() {
+            let mut bits = *occ;
+            while bits != 0 {
+                let slot = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                self.buckets[level * SLOTS + slot].clear();
+            }
+            *occ = 0;
+        }
+        self.front.clear();
+        self.overflow.clear();
+        self.past.clear();
+        self.cursor = 0;
+        self.len = 0;
         self.seq = 0;
         self.last_popped = SimTime::ZERO;
     }
 
-    /// Pending event slots available without reallocating.
+    /// Pending event slots available without reallocating (the high
+    ///-water mark of requested capacity and current population).
     pub fn capacity(&self) -> usize {
-        self.heap.capacity()
+        self.cap.max(self.len)
     }
 
     /// Schedules `event` to fire at `time`.
@@ -108,7 +174,51 @@ impl<E> EventQueue<E> {
     pub fn schedule(&mut self, time: SimTime, event: E) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        self.len += 1;
+        let entry = Entry {
+            time: time.as_nanos(),
+            seq,
+            event,
+        };
+        if time < self.last_popped {
+            self.past.push(entry);
+        } else if self.len - self.front.len() - self.past.len() > 1 {
+            // The wheel already holds entries (`> 1` because `len`
+            // includes the one being scheduled): keep feeding it.
+            self.place(entry);
+        } else if self.front.len() < FRONT_CAP {
+            // Wheel empty: stay on the small-queue fast path.
+            self.front.push(entry);
+        } else {
+            // The small queue outgrew its buffer: spill everything
+            // into the wheel and continue there.
+            let mut front = std::mem::take(&mut self.front);
+            for e in front.drain(..) {
+                self.place(e);
+            }
+            self.front = front;
+            self.place(entry);
+        }
+    }
+
+    /// Hashes `entry` into the wheel relative to `self.cursor`, or into
+    /// the sorted overflow spill if it lies beyond the wheel span.
+    /// Requires `entry.time >= self.cursor`.
+    fn place(&mut self, entry: Entry<E>) {
+        let distance = entry.time ^ self.cursor;
+        let level = if distance == 0 {
+            0
+        } else {
+            ((63 - distance.leading_zeros()) / BITS) as usize
+        };
+        if level >= LEVELS {
+            let at = self.overflow.partition_point(|e| e.key() < entry.key());
+            self.overflow.insert(at, entry);
+            return;
+        }
+        let slot = ((entry.time >> (BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        self.occupied[level] |= 1 << slot;
+        self.buckets[level * SLOTS + slot].push(entry);
     }
 
     /// Removes and returns the earliest event, with its scheduled time.
@@ -119,30 +229,163 @@ impl<E> EventQueue<E> {
     /// popped event — i.e. someone scheduled into the past, which would
     /// silently corrupt causality in a discrete-event simulation.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let entry = self.heap.pop()?;
-        assert!(
-            entry.time >= self.last_popped,
-            "event scheduled in the past: {} < {}",
-            entry.time,
-            self.last_popped
-        );
-        self.last_popped = entry.time;
-        Some((entry.time, entry.event))
+        if !self.past.is_empty() {
+            // A past entry is strictly earlier than anything in the
+            // wheel, so it is the global minimum the heap would pop.
+            let at = (0..self.past.len())
+                .min_by_key(|&i| self.past[i].key())
+                .expect("non-empty");
+            let entry = self.past.swap_remove(at);
+            self.len -= 1;
+            let time = SimTime::from_nanos(entry.time);
+            assert!(
+                time >= self.last_popped,
+                "event scheduled in the past: {} < {}",
+                time,
+                self.last_popped
+            );
+            unreachable!("past entries precede last_popped by construction");
+        }
+        if !self.front.is_empty() {
+            // Front buffer active ⇒ the wheel is empty, so the buffer's
+            // `(time, seq)` minimum is the global minimum.
+            let at = (0..self.front.len())
+                .min_by_key(|&i| self.front[i].key())
+                .expect("non-empty");
+            let entry = self.front.swap_remove(at);
+            self.len -= 1;
+            self.cursor = entry.time;
+            let time = SimTime::from_nanos(entry.time);
+            debug_assert!(time >= self.last_popped);
+            self.last_popped = time;
+            return Some((time, entry.event));
+        }
+        loop {
+            let Some(level) = self.occupied.iter().position(|&occ| occ != 0) else {
+                if self.overflow.is_empty() {
+                    return None;
+                }
+                self.drain_overflow();
+                continue;
+            };
+            let slot = self.occupied[level].trailing_zeros() as usize;
+            if level == 0 {
+                let bucket = &mut self.buckets[slot];
+                // A 1 ns bucket: every entry shares `time`, so the
+                // minimum is the smallest seq (FIFO).
+                let at = (0..bucket.len())
+                    .min_by_key(|&i| bucket[i].seq)
+                    .expect("occupied bucket");
+                let entry = bucket.swap_remove(at);
+                if bucket.is_empty() {
+                    self.occupied[0] &= !(1u64 << slot);
+                }
+                self.len -= 1;
+                let time = SimTime::from_nanos(entry.time);
+                assert!(
+                    time >= self.last_popped,
+                    "event scheduled in the past: {} < {}",
+                    time,
+                    self.last_popped
+                );
+                self.last_popped = time;
+                return Some((time, entry.event));
+            }
+            // Single-pass cascade: this bucket holds the wheel's
+            // minimum, so advance the cursor straight to that minimum
+            // (every other wheel entry is strictly later) and pop it.
+            // The bucket's survivors share the level digit with the
+            // new cursor, so re-placing them always lands strictly
+            // lower — one pass over one bucket per pop, instead of one
+            // cascade per level.
+            let idx = level * SLOTS + slot;
+            self.occupied[level] &= !(1u64 << slot);
+            let entry = if self.buckets[idx].len() == 1 {
+                self.buckets[idx].pop().expect("occupied bucket")
+            } else {
+                let mut scratch = std::mem::take(&mut self.scratch);
+                std::mem::swap(&mut scratch, &mut self.buckets[idx]);
+                let at = (0..scratch.len())
+                    .min_by_key(|&i| scratch[i].key())
+                    .expect("occupied bucket");
+                let entry = scratch.swap_remove(at);
+                self.cursor = entry.time;
+                for e in scratch.drain(..) {
+                    self.place(e);
+                }
+                self.scratch = scratch;
+                entry
+            };
+            self.cursor = entry.time;
+            self.len -= 1;
+            let time = SimTime::from_nanos(entry.time);
+            assert!(
+                time >= self.last_popped,
+                "event scheduled in the past: {} < {}",
+                time,
+                self.last_popped
+            );
+            self.last_popped = time;
+            return Some((time, entry.event));
+        }
+    }
+
+    /// Moves the leading run of overflow entries that now fits the
+    /// wheel span in, re-anchoring the cursor at the earliest one.
+    fn drain_overflow(&mut self) {
+        self.cursor = self.overflow[0].time;
+        let span = 1u64 << (BITS * LEVELS as u32);
+        let fits = self
+            .overflow
+            .partition_point(|e| e.time ^ self.cursor < span);
+        for entry in self.overflow.drain(..fits) {
+            let distance = entry.time ^ self.cursor;
+            let level = if distance == 0 {
+                0
+            } else {
+                ((63 - distance.leading_zeros()) / BITS) as usize
+            };
+            let slot = ((entry.time >> (BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+            self.occupied[level] |= 1 << slot;
+            self.buckets[level * SLOTS + slot].push(entry);
+        }
     }
 
     /// The scheduled time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        let mut min: Option<u64> = self.past.iter().map(|e| e.time).min();
+        if min.is_none() {
+            min = self.front.iter().map(|e| e.time).min();
+        }
+        if min.is_none() {
+            min = self.wheel_min_time();
+        }
+        if min.is_none() {
+            min = self.overflow.first().map(|e| e.time);
+        }
+        min.map(SimTime::from_nanos)
+    }
+
+    /// Minimum time across the wheel levels, without cascading: the
+    /// earliest entry always lives in the lowest occupied slot of the
+    /// lowest occupied level.
+    fn wheel_min_time(&self) -> Option<u64> {
+        let level = self.occupied.iter().position(|&occ| occ != 0)?;
+        let slot = self.occupied[level].trailing_zeros() as usize;
+        self.buckets[level * SLOTS + slot]
+            .iter()
+            .map(|e| e.time)
+            .min()
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// Whether the queue has no pending events.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// The time of the most recently popped event (the current simulation
@@ -158,9 +401,97 @@ impl<E> Default for EventQueue<E> {
     }
 }
 
+/// The binary-heap implementation the wheel replaced. Kept as the
+/// reference model for the randomized equivalence test below: the wheel
+/// must reproduce its pop sequence exactly, operation for operation.
+#[cfg_attr(not(test), allow(dead_code))]
+mod heap {
+    use super::Ordering;
+    use crate::time::SimTime;
+    use std::collections::BinaryHeap;
+
+    #[derive(Debug)]
+    pub struct HeapEventQueue<E> {
+        heap: BinaryHeap<Entry<E>>,
+        seq: u64,
+        last_popped: SimTime,
+    }
+
+    #[derive(Debug)]
+    struct Entry<E> {
+        time: SimTime,
+        seq: u64,
+        event: E,
+    }
+
+    impl<E> PartialEq for Entry<E> {
+        fn eq(&self, other: &Self) -> bool {
+            self.time == other.time && self.seq == other.seq
+        }
+    }
+
+    impl<E> Eq for Entry<E> {}
+
+    impl<E> PartialOrd for Entry<E> {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    impl<E> Ord for Entry<E> {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // BinaryHeap is a max-heap; reverse so the earliest
+            // (time, seq) pops first.
+            (other.time, other.seq).cmp(&(self.time, self.seq))
+        }
+    }
+
+    impl<E> HeapEventQueue<E> {
+        pub fn new() -> Self {
+            HeapEventQueue {
+                heap: BinaryHeap::new(),
+                seq: 0,
+                last_popped: SimTime::ZERO,
+            }
+        }
+
+        pub fn schedule(&mut self, time: SimTime, event: E) {
+            let seq = self.seq;
+            self.seq += 1;
+            self.heap.push(Entry { time, seq, event });
+        }
+
+        pub fn pop(&mut self) -> Option<(SimTime, E)> {
+            let entry = self.heap.pop()?;
+            assert!(
+                entry.time >= self.last_popped,
+                "event scheduled in the past: {} < {}",
+                entry.time,
+                self.last_popped
+            );
+            self.last_popped = entry.time;
+            Some((entry.time, entry.event))
+        }
+
+        pub fn peek_time(&self) -> Option<SimTime> {
+            self.heap.peek().map(|e| e.time)
+        }
+
+        pub fn len(&self) -> usize {
+            self.heap.len()
+        }
+
+        pub fn now(&self) -> SimTime {
+            self.last_popped
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::heap::HeapEventQueue;
     use super::*;
+    use crate::rng::SimRng;
 
     #[test]
     fn pops_in_time_order() {
@@ -184,6 +515,29 @@ mod tests {
         for i in 0..100 {
             assert_eq!(q.pop().unwrap().1, i);
         }
+    }
+
+    #[test]
+    fn ties_break_fifo_across_bucket_boundaries() {
+        // Same-time events interleaved with events that hash to other
+        // levels and slots: cascades append older-seq entries behind
+        // newer ones, and the min-scan must still pop strict FIFO.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(100); // level > 0 from cursor 0
+        q.schedule(t, 0);
+        q.schedule(SimTime::from_nanos(50), 100);
+        q.schedule(t, 1);
+        q.schedule(t + crate::time::SimDuration::from_nanos(1), 200);
+        q.schedule(t, 2);
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(50), 100)));
+        // Cascade has happened; same-time entries must still pop 0,1,2.
+        q.schedule(t, 3);
+        assert_eq!(q.pop(), Some((t, 0)));
+        assert_eq!(q.pop(), Some((t, 1)));
+        assert_eq!(q.pop(), Some((t, 2)));
+        assert_eq!(q.pop(), Some((t, 3)));
+        assert_eq!(q.pop().unwrap().1, 200);
+        assert_eq!(q.pop(), None);
     }
 
     #[test]
@@ -245,5 +599,106 @@ mod tests {
         q.schedule(SimTime::from_nanos(4), "d");
         assert_eq!(q.pop().unwrap().1, "c");
         assert_eq!(q.pop().unwrap().1, "d");
+    }
+
+    #[test]
+    fn far_future_events_spill_to_overflow_and_return() {
+        let mut q = EventQueue::new();
+        // Beyond the 2^48 ns wheel span from cursor 0.
+        let far = SimTime::from_nanos(1 << 50);
+        let farther = SimTime::from_nanos((1 << 50) + 123);
+        q.schedule(farther, "z");
+        q.schedule(far, "y");
+        q.schedule(SimTime::from_nanos(10), "a");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(10)));
+        assert_eq!(q.pop().unwrap().1, "a");
+        // Draining the overflow re-anchors the wheel at the far time.
+        assert_eq!(q.peek_time(), Some(far));
+        assert_eq!(q.pop(), Some((far, "y")));
+        assert_eq!(q.pop(), Some((farther, "z")));
+        assert_eq!(q.pop(), None);
+        // The queue keeps working past the overflow horizon.
+        q.schedule(SimTime::from_nanos((1 << 51) + 7), "w");
+        assert_eq!(q.pop().unwrap().1, "w");
+    }
+
+    #[test]
+    fn clear_immediately_after_overflow_resets_cleanly() {
+        let mut q = EventQueue::with_capacity(16);
+        let cap = q.capacity();
+        q.schedule(SimTime::from_nanos(1 << 52), 1);
+        q.schedule(SimTime::from_nanos(3), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.capacity(), cap);
+        // Near-past times are schedulable again and nothing lingers
+        // from the spilled entry.
+        q.schedule(SimTime::from_nanos(2), 9);
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(2), 9)));
+        assert_eq!(q.pop(), None);
+    }
+
+    /// The tentpole proof: the wheel and the retired heap must agree on
+    /// every operation's result over millions of randomized
+    /// interleavings — mixed schedule bursts and pop runs, clustered
+    /// ties, level-crossing jumps, and overflow-distance times.
+    #[test]
+    fn randomized_equivalence_with_heap_model() {
+        for seed in 0..4u64 {
+            let mut rng = SimRng::with_stream(seed, 0xe0e1);
+            let mut wheel: EventQueue<u64> = EventQueue::new();
+            let mut model: HeapEventQueue<u64> = HeapEventQueue::new();
+            let mut scheduled = 0u64;
+            let mut ops = 0u64;
+            while ops < 1_500_000 {
+                if !wheel.is_empty() {
+                    assert_eq!(wheel.peek_time(), model.peek_time(), "seed {seed}");
+                }
+                if rng.chance(0.55) || wheel.is_empty() {
+                    // Schedule a burst. Offsets mix dense near-term
+                    // times (heavy ties), mid-range jumps that cross
+                    // wheel levels, and rare overflow-distance leaps.
+                    let burst = rng.range(1, 24);
+                    for _ in 0..burst {
+                        let offset = match rng.below(10) {
+                            0..=5 => rng.below(64),              // level-0 ties
+                            6 | 7 => rng.below(1 << 14),         // levels 1–2
+                            8 => rng.below(1 << 30),             // levels 3–5
+                            _ => (1 << 47) + rng.below(1 << 49), // top / overflow
+                        };
+                        let t = SimTime::from_nanos(model.now().as_nanos() + offset);
+                        wheel.schedule(t, scheduled);
+                        model.schedule(t, scheduled);
+                        scheduled += 1;
+                        ops += 1;
+                    }
+                } else {
+                    let run = rng.range(1, 16);
+                    for _ in 0..run {
+                        let got = wheel.pop();
+                        let want = model.pop();
+                        assert_eq!(got, want, "seed {seed} after {ops} ops");
+                        ops += 1;
+                        if got.is_none() {
+                            break;
+                        }
+                    }
+                }
+                assert_eq!(wheel.len(), model.len(), "seed {seed}");
+                assert_eq!(wheel.now(), model.now(), "seed {seed}");
+            }
+            // Drain both to the end: the full pop sequence must match.
+            loop {
+                let got = wheel.pop();
+                let want = model.pop();
+                assert_eq!(got, want, "seed {seed} drain");
+                if got.is_none() {
+                    break;
+                }
+            }
+        }
     }
 }

@@ -28,6 +28,12 @@ pub struct TokenBucket {
     rate_per_sec: f64,
     burst: f64,
     tokens: f64,
+    /// Tokens refilled per elapsed nanosecond (`rate_per_sec / 1e9`),
+    /// precomputed so the per-acquire refill is a single multiply.
+    tokens_per_ns: f64,
+    /// Nanoseconds to repay one token of debt (`1e9 / rate_per_sec`),
+    /// precomputed so the throttled path divides nowhere.
+    ns_per_token: f64,
     last_refill: SimTime,
 }
 
@@ -51,6 +57,8 @@ impl TokenBucket {
             rate_per_sec,
             burst,
             tokens: burst,
+            tokens_per_ns: rate_per_sec / 1e9,
+            ns_per_token: 1e9 / rate_per_sec,
             last_refill: SimTime::ZERO,
         }
     }
@@ -67,8 +75,8 @@ impl TokenBucket {
 
     fn refill(&mut self, now: SimTime) {
         if now > self.last_refill {
-            let elapsed = now.duration_since(self.last_refill).as_secs_f64();
-            self.tokens = (self.tokens + elapsed * self.rate_per_sec).min(self.burst);
+            let elapsed_ns = now.duration_since(self.last_refill).as_nanos() as f64;
+            self.tokens = (self.tokens + elapsed_ns * self.tokens_per_ns).min(self.burst);
             self.last_refill = now;
         }
     }
@@ -103,7 +111,7 @@ impl TokenBucket {
         if self.tokens >= 0.0 {
             return now;
         }
-        let wait = SimDuration::from_secs_f64(-self.tokens / self.rate_per_sec);
+        let wait = SimDuration::from_nanos((-self.tokens * self.ns_per_token).round() as u64);
         now + wait
     }
 

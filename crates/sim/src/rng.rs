@@ -24,6 +24,10 @@
 pub struct SimRng {
     state: u64,
     inc: u64,
+    /// The unused half of the last Box–Muller pair: [`normal`](Self::normal)
+    /// hands it out on the next call instead of burning two more
+    /// uniforms and a `ln`/`sqrt`/`sin_cos` round.
+    spare_normal: Option<f64>,
 }
 
 const PCG_MULT: u64 = 6364136223846793005;
@@ -41,6 +45,7 @@ impl SimRng {
         let mut rng = SimRng {
             state: 0,
             inc: (stream << 1) | 1,
+            spare_normal: None,
         };
         rng.next_u32();
         rng.state = rng.state.wrapping_add(seed);
@@ -123,9 +128,15 @@ impl SimRng {
 
     /// A standard normal sample (Box–Muller).
     pub fn normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
         let u1 = 1.0 - self.f64();
         let u2 = self.f64();
-        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+        let r = (-2.0 * u1.ln()).sqrt();
+        let (sin, cos) = (std::f64::consts::TAU * u2).sin_cos();
+        self.spare_normal = Some(r * sin);
+        r * cos
     }
 
     /// A normal sample with the given mean and standard deviation.

@@ -76,6 +76,11 @@ thread_local! {
     /// Fast-path flag. Kept separate from `GLOBAL` so a disabled
     /// thread never materialises the collector's ring buffer.
     static ENABLED: Cell<bool> = const { Cell::new(false) };
+    /// Running count of simulated events (I/O ops, packets, samples)
+    /// the current thread's experiment processed. Drivers report in
+    /// bulk via [`add_events`]; the bench harness reads it from
+    /// [`Snapshot::sim_events`] to compute events-per-second.
+    static EVENT_TALLY: Cell<u64> = const { Cell::new(0) };
     static GLOBAL: RefCell<Global> = RefCell::new(Global {
         collector: Collector::new(DEFAULT_CAPACITY),
         registry: Registry::new(),
@@ -100,13 +105,30 @@ pub fn set_enabled(on: bool) {
     ENABLED.with(|e| e.set(on));
 }
 
-/// Clears this thread's trace and metrics; sequence numbering restarts
-/// so the next run reproduces a fresh-process trace exactly.
+/// Clears this thread's trace, metrics, and event tally; sequence
+/// numbering restarts so the next run reproduces a fresh-process trace
+/// exactly.
 pub fn reset() {
+    EVENT_TALLY.with(|t| t.set(0));
     with_global(|g| {
         g.collector.clear();
         g.registry.clear();
     });
+}
+
+/// Adds `n` simulated events to this thread's tally. No-op while
+/// disabled. Experiment drivers call this once per run with their
+/// operation count (batched, so the per-event hot path pays nothing).
+#[inline]
+pub fn add_events(n: u64) {
+    if is_enabled() {
+        EVENT_TALLY.with(|t| t.set(t.get() + n));
+    }
+}
+
+/// This thread's simulated-event tally since the last [`reset`].
+pub fn event_tally() -> u64 {
+    EVENT_TALLY.with(|t| t.get())
 }
 
 /// A point-in-time copy of everything recorded on this thread.
@@ -118,6 +140,8 @@ pub struct Snapshot {
     pub registry: Registry,
     /// Spans evicted by the ring-buffer bound.
     pub dropped: u64,
+    /// Simulated events reported via [`add_events`].
+    pub sim_events: u64,
 }
 
 /// Copies this thread's trace (in deterministic `seq` order) and
@@ -127,12 +151,18 @@ pub fn snapshot() -> Snapshot {
         events: g.collector.events_by_seq(),
         registry: g.registry.clone(),
         dropped: g.collector.dropped(),
+        sim_events: event_tally(),
     })
 }
 
 /// Records a complete span. No-op while disabled.
 #[inline]
-pub fn span(component: &'static str, label: impl Into<String>, start: SimTime, d: SimDuration) {
+pub fn span(
+    component: &'static str,
+    label: impl AsRef<str> + Into<String>,
+    start: SimTime,
+    d: SimDuration,
+) {
     if is_enabled() {
         with_global(|g| g.collector.span(component, label, start, d));
     }
@@ -145,7 +175,7 @@ pub fn span(component: &'static str, label: impl Into<String>, start: SimTime, d
 #[inline]
 pub fn span_with(
     component: &'static str,
-    label: impl Into<String>,
+    label: impl AsRef<str> + Into<String>,
     start: SimTime,
     d: SimDuration,
     attrs: Vec<(&'static str, AttrValue)>,
@@ -168,7 +198,11 @@ impl ScopeToken {
 /// Opens a nesting span; spans recorded before the matching [`end`]
 /// become its children. Returns a no-op token while disabled.
 #[inline]
-pub fn begin(component: &'static str, label: impl Into<String>, start: SimTime) -> ScopeToken {
+pub fn begin(
+    component: &'static str,
+    label: impl AsRef<str> + Into<String>,
+    start: SimTime,
+) -> ScopeToken {
     if is_enabled() {
         ScopeToken(Some(with_global(|g| {
             g.collector.begin(component, label, start)
@@ -326,6 +360,23 @@ mod tests {
         assert_eq!(snap.events[0].component, "main");
         assert_eq!(sibling.events.len(), 1);
         assert_eq!(sibling.events[0].component, "sib");
+    }
+
+    #[test]
+    fn event_tally_counts_only_while_enabled() {
+        set_enabled(false);
+        reset();
+        add_events(5);
+        assert_eq!(snapshot().sim_events, 0);
+        set_enabled(true);
+        add_events(7);
+        add_events(3);
+        let snap = snapshot();
+        reset();
+        let cleared = snapshot().sim_events;
+        set_enabled(false);
+        assert_eq!(snap.sim_events, 10);
+        assert_eq!(cleared, 0);
     }
 
     #[test]

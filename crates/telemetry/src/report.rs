@@ -195,7 +195,7 @@ mod tests {
         c.span("a", "x", SimTime::ZERO, dur(10));
         c.span("a", "x", SimTime::from_nanos(10), dur(30));
         c.span("b", "y", SimTime::ZERO, dur(5));
-        let attr = Attribution::from_events(c.events());
+        let attr = Attribution::from_events(&c.events_by_seq());
         assert_eq!(attr.rows().len(), 2);
         let ax = attr.row("a", "x").unwrap();
         assert_eq!(ax.count, 2);
@@ -213,7 +213,7 @@ mod tests {
         c.span("op", "child", SimTime::ZERO, dur(30));
         c.span("op", "child", SimTime::from_nanos(30), dur(20));
         c.end(outer, SimTime::from_nanos(100));
-        let attr = Attribution::from_events(c.events());
+        let attr = Attribution::from_events(&c.events_by_seq());
         let outer = attr.row("op", "outer").unwrap();
         assert_eq!(outer.total, dur(100));
         assert_eq!(outer.self_time, dur(50));
@@ -228,7 +228,7 @@ mod tests {
         let mut c = Collector::new(64);
         c.span("z", "late", SimTime::ZERO, dur(1));
         c.span("a", "early", SimTime::ZERO, dur(1));
-        let attr = Attribution::from_events(c.events());
+        let attr = Attribution::from_events(&c.events_by_seq());
         assert_eq!(attr.rows()[0].component, "a");
         assert_eq!(attr.rows()[1].component, "z");
     }
@@ -238,7 +238,7 @@ mod tests {
         let mut c = Collector::new(64);
         c.span("io", "read", SimTime::ZERO, dur(75));
         c.span("io", "write", SimTime::ZERO, dur(25));
-        let attr = Attribution::from_events(c.events());
+        let attr = Attribution::from_events(&c.events_by_seq());
         let text = attr.to_text();
         assert!(text.contains("read"));
         assert!(text.contains("75.0%"));

@@ -15,7 +15,7 @@
 //! their children have been priced.
 
 use bmhive_sim::{SimDuration, SimTime};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 /// A typed attribute value on a span.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,10 +87,55 @@ impl SpanEvent {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpanId(pub(crate) u64);
 
+/// Interned span labels: hot-path recording stores a `u32` symbol id;
+/// strings are resolved only when a snapshot materialises
+/// [`SpanEvent`]s.
+#[derive(Default)]
+struct Interner {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Interner {
+    fn intern(&mut self, label: impl AsRef<str> + Into<String>) -> u32 {
+        if let Some(&id) = self.index.get(label.as_ref()) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        let name = label.into();
+        self.names.push(name.clone());
+        self.index.insert(name, id);
+        id
+    }
+
+    fn resolve(&self, id: u32) -> &str {
+        &self.names[id as usize]
+    }
+
+    fn clear(&mut self) {
+        self.names.clear();
+        self.index.clear();
+    }
+}
+
+/// The compact in-ring representation of a closed span: identical to
+/// [`SpanEvent`] except the label is a symbol id.
+#[derive(Clone)]
+struct RawSpan {
+    seq: u64,
+    component: &'static str,
+    label: u32,
+    start: SimTime,
+    duration: SimDuration,
+    parent: Option<u64>,
+    depth: u32,
+    attrs: Vec<(&'static str, AttrValue)>,
+}
+
 struct OpenSpan {
     seq: u64,
     component: &'static str,
-    label: String,
+    label: u32,
     start: SimTime,
     parent: Option<u64>,
     depth: u32,
@@ -121,8 +166,9 @@ struct OpenSpan {
 /// ```
 #[derive(Default)]
 pub struct Collector {
-    events: VecDeque<SpanEvent>,
+    events: VecDeque<RawSpan>,
     stack: Vec<OpenSpan>,
+    interner: Interner,
     capacity: usize,
     next_seq: u64,
     dropped: u64,
@@ -155,13 +201,14 @@ impl Collector {
         Collector {
             events: VecDeque::new(),
             stack: Vec::new(),
+            interner: Interner::default(),
             capacity,
             next_seq: 0,
             dropped: 0,
         }
     }
 
-    fn push(&mut self, event: SpanEvent) {
+    fn push(&mut self, event: RawSpan) {
         if self.events.len() == self.capacity {
             self.events.pop_front();
             self.dropped += 1;
@@ -175,7 +222,7 @@ impl Collector {
     pub fn span(
         &mut self,
         component: &'static str,
-        label: impl Into<String>,
+        label: impl AsRef<str> + Into<String>,
         start: SimTime,
         duration: SimDuration,
     ) -> SpanId {
@@ -186,21 +233,22 @@ impl Collector {
     pub fn span_with(
         &mut self,
         component: &'static str,
-        label: impl Into<String>,
+        label: impl AsRef<str> + Into<String>,
         start: SimTime,
         duration: SimDuration,
         attrs: Vec<(&'static str, AttrValue)>,
     ) -> SpanId {
         let seq = self.next_seq;
         self.next_seq += 1;
+        let label = self.interner.intern(label);
         let (parent, depth) = match self.stack.last() {
             Some(open) => (Some(open.seq), open.depth + 1),
             None => (None, 0),
         };
-        self.push(SpanEvent {
+        self.push(RawSpan {
             seq,
             component,
-            label: label.into(),
+            label,
             start,
             duration,
             parent,
@@ -217,7 +265,7 @@ impl Collector {
     pub fn begin(
         &mut self,
         component: &'static str,
-        label: impl Into<String>,
+        label: impl AsRef<str> + Into<String>,
         start: SimTime,
     ) -> SpanId {
         self.begin_with(component, label, start, Vec::new())
@@ -227,12 +275,13 @@ impl Collector {
     pub fn begin_with(
         &mut self,
         component: &'static str,
-        label: impl Into<String>,
+        label: impl AsRef<str> + Into<String>,
         start: SimTime,
         attrs: Vec<(&'static str, AttrValue)>,
     ) -> SpanId {
         let seq = self.next_seq;
         self.next_seq += 1;
+        let label = self.interner.intern(label);
         let (parent, depth) = match self.stack.last() {
             Some(open) => (Some(open.seq), open.depth + 1),
             None => (None, 0),
@@ -240,7 +289,7 @@ impl Collector {
         self.stack.push(OpenSpan {
             seq,
             component,
-            label: label.into(),
+            label,
             start,
             parent,
             depth,
@@ -264,7 +313,7 @@ impl Collector {
             id
         );
         let duration = at.duration_since(open.start);
-        self.push(SpanEvent {
+        self.push(RawSpan {
             seq: open.seq,
             component: open.component,
             label: open.label,
@@ -276,15 +325,25 @@ impl Collector {
         });
     }
 
-    /// The closed spans, oldest first (close order).
-    pub fn events(&self) -> impl Iterator<Item = &SpanEvent> + '_ {
-        self.events.iter()
-    }
-
     /// The closed spans as an owned vector, sorted by open order
-    /// (`seq`) — the canonical deterministic export order.
+    /// (`seq`) — the canonical deterministic export order. Label
+    /// strings are materialised here from the symbol table; the ring
+    /// itself never stores them.
     pub fn events_by_seq(&self) -> Vec<SpanEvent> {
-        let mut v: Vec<SpanEvent> = self.events.iter().cloned().collect();
+        let mut v: Vec<SpanEvent> = self
+            .events
+            .iter()
+            .map(|raw| SpanEvent {
+                seq: raw.seq,
+                component: raw.component,
+                label: self.interner.resolve(raw.label).to_string(),
+                start: raw.start,
+                duration: raw.duration,
+                parent: raw.parent,
+                depth: raw.depth,
+                attrs: raw.attrs.clone(),
+            })
+            .collect();
         v.sort_by_key(|e| e.seq);
         v
     }
@@ -315,6 +374,7 @@ impl Collector {
     pub fn clear(&mut self) {
         self.events.clear();
         self.stack.clear();
+        self.interner.clear();
         self.next_seq = 0;
         self.dropped = 0;
     }
@@ -337,7 +397,7 @@ mod tests {
         let mut c = Collector::new(16);
         c.span("a", "first", ns(0), dur(10));
         c.span("a", "second", ns(10), dur(5));
-        let events: Vec<_> = c.events().collect();
+        let events = c.events_by_seq();
         assert_eq!(events.len(), 2);
         assert_eq!(events[0].label, "first");
         assert_eq!(events[1].seq, 1);
@@ -372,7 +432,7 @@ mod tests {
         }
         assert_eq!(c.len(), 3);
         assert_eq!(c.dropped(), 2);
-        let labels: Vec<_> = c.events().map(|e| e.label.as_str()).collect();
+        let labels: Vec<_> = c.events_by_seq().into_iter().map(|e| e.label).collect();
         assert_eq!(labels, vec!["s2", "s3", "s4"]);
     }
 
@@ -397,6 +457,23 @@ mod tests {
     }
 
     #[test]
+    fn labels_intern_and_materialize_correctly() {
+        let mut c = Collector::new(4);
+        c.span("a", "hot", ns(0), dur(1));
+        c.span("a", String::from("hot"), ns(1), dur(1));
+        c.span("a", "cold", ns(2), dur(1));
+        let events = c.events_by_seq();
+        assert_eq!(events[0].label, "hot");
+        assert_eq!(events[1].label, "hot");
+        assert_eq!(events[2].label, "cold");
+        // clear() drops the symbol table with the spans; fresh labels
+        // resolve correctly afterwards.
+        c.clear();
+        c.span("a", "fresh", ns(0), dur(1));
+        assert_eq!(c.events_by_seq()[0].label, "fresh");
+    }
+
+    #[test]
     fn attrs_round_trip() {
         let mut c = Collector::new(8);
         c.span_with(
@@ -406,7 +483,7 @@ mod tests {
             dur(100),
             vec![("bytes", AttrValue::U64(4096)), ("kind", "read".into())],
         );
-        let e = c.events().next().unwrap();
+        let e = &c.events_by_seq()[0];
         assert_eq!(e.attrs[0], ("bytes", AttrValue::U64(4096)));
         assert_eq!(e.attrs[1], ("kind", AttrValue::Str("read".into())));
     }

@@ -14,6 +14,7 @@
 use crate::env::GuestEnv;
 use bmhive_cpu::CpuWork;
 use bmhive_sim::SimDuration;
+use bmhive_telemetry as telemetry;
 
 /// Query classes sysbench issues.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -108,6 +109,7 @@ pub fn run_mariadb(env: &mut GuestEnv, mix: QueryMix) -> MariaDbRun {
             }
         }
     };
+    telemetry::add_events(1);
     MariaDbRun {
         label: env.label,
         mix,

@@ -11,6 +11,7 @@ use crate::env::GuestEnv;
 use bmhive_cloud::limits::InstanceLimits;
 use bmhive_net::{MacAddr, NetLink, Packet};
 use bmhive_sim::{Series, SimTime, Summary};
+use bmhive_telemetry as telemetry;
 
 /// Result of a PPS run: per-second achieved rates.
 #[derive(Debug, Clone)]
@@ -34,6 +35,7 @@ pub fn udp_pps(env: &mut GuestEnv, seconds: u32) -> PpsRun {
     let pipeline = env.path.max_pps_kernel();
     let mut series = Series::new(env.label);
     let mut stats = Summary::new();
+    let mut packets = 0u64;
     for s in 0..seconds {
         let offered = env.path.sample_pps(pipeline).min(cap);
         // Push a representative sample of the second through the limiter
@@ -48,10 +50,12 @@ pub fn udp_pps(env: &mut GuestEnv, seconds: u32) -> PpsRun {
             let _ = limits.admit_packet(64, at.max(base));
             admitted += 1;
         }
+        packets += u64::from(admitted);
         let achieved = (f64::from(admitted) * 1000.0).min(offered);
         series.push(f64::from(s), achieved);
         stats.record(achieved);
     }
+    telemetry::add_events(packets);
     PpsRun {
         label: env.label,
         series,
@@ -70,6 +74,7 @@ pub fn udp_pps_unrestricted(env: &mut GuestEnv, seconds: u32) -> PpsRun {
         series.push(f64::from(s), achieved);
         stats.record(achieved);
     }
+    telemetry::add_events(u64::from(seconds));
     PpsRun {
         label: env.label,
         series,
@@ -89,11 +94,13 @@ pub fn tcp_throughput(env: &mut GuestEnv) -> f64 {
     // segments; the bandwidth cap binds. Simulate 50 ms of admission.
     let mut t = SimTime::ZERO;
     let mut sent_bytes = 0u64;
+    let mut segments = 0u64;
     let horizon = SimTime::from_millis(250);
     while t < horizon {
         let admitted = limits.admit_packet(wire, t);
         let arrival = link.transmit(&packet, admitted);
         sent_bytes += u64::from(wire);
+        segments += 1;
         // 64 connections keep the pipe full: next segment is ready
         // immediately after admission.
         t = admitted.max(arrival.min(admitted + bmhive_sim::SimDuration::from_nanos(1)));
@@ -103,6 +110,7 @@ pub fn tcp_throughput(env: &mut GuestEnv) -> f64 {
             .net_oneway(0)
             .min(bmhive_sim::SimDuration::from_nanos(200));
     }
+    telemetry::add_events(segments);
     sent_bytes as f64 * 8.0 / t.as_secs_f64() / 1e9
 }
 

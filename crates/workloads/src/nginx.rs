@@ -15,6 +15,7 @@
 use crate::env::GuestEnv;
 use bmhive_cpu::CpuWork;
 use bmhive_sim::{Series, SimDuration};
+use bmhive_telemetry as telemetry;
 
 /// Packets a no-keepalive HTTP request costs the server (SYN, SYN-ACK,
 /// ACK, request, response ×2, FIN exchange).
@@ -66,6 +67,7 @@ pub fn run_nginx(env: &mut GuestEnv, client_counts: &[u32]) -> NginxRun {
         rps.push(f64::from(clients), achieved);
         response_ms.push(f64::from(clients), response * 1e3);
     }
+    telemetry::add_events(client_counts.len() as u64);
     NginxRun {
         label: env.label,
         rps,

@@ -15,6 +15,7 @@
 use crate::env::GuestEnv;
 use bmhive_cpu::{CpuWork, Platform};
 use bmhive_sim::{Series, SimDuration, SimTime};
+use bmhive_telemetry as telemetry;
 
 /// Command processing: hash lookup in a 10 M-entry table + dict walk.
 fn op_work(value_bytes: u32) -> CpuWork {
@@ -43,6 +44,7 @@ pub fn run_redis_clients(env: &mut GuestEnv, client_counts: &[u32], value_bytes:
         let per_op = env.cpu.execute(&op_work(value_bytes)) + pkt_cost * 2 + stack + epoll;
         series.push(f64::from(clients), 1.0 / per_op.as_secs_f64());
     }
+    telemetry::add_events(client_counts.len() as u64);
     series
 }
 
@@ -83,6 +85,7 @@ pub fn run_redis_sizes(
         }
         out.push((size, series));
     }
+    telemetry::add_events(sizes.len() as u64 * u64::from(samples_per_size));
     out
 }
 

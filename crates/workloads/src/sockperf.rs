@@ -9,6 +9,7 @@
 use crate::env::GuestEnv;
 use bmhive_net::{MacAddr, Packet, PacketKind, ProtocolStack};
 use bmhive_sim::{Histogram, SimDuration};
+use bmhive_telemetry as telemetry;
 
 /// Which latency tool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -90,6 +91,7 @@ pub fn round_trip(env: &mut GuestEnv, tool: LatencyTool, samples: u32) -> Latenc
         }
         rtt_us.record_duration(rtt);
     }
+    telemetry::add_events(u64::from(samples));
     LatencyRun {
         label: env.label,
         tool,

@@ -7,6 +7,7 @@
 use bmhive_cpu::catalog::XEON_E5_2682_V4;
 use bmhive_cpu::spec::{geometric_mean, SPEC_CINT2006};
 use bmhive_cpu::{Platform, VirtTax};
+use bmhive_telemetry as telemetry;
 
 /// One benchmark's bar group: performance relative to the physical
 /// machine (1.0 = physical).
@@ -53,6 +54,7 @@ pub fn run_spec() -> SpecResult {
             vm: bench.ratio_vs(&vm, &phys),
         });
     }
+    telemetry::add_events(rows.len() as u64);
     let bm_geomean = geometric_mean(&rows.iter().map(|r| r.bm).collect::<Vec<_>>());
     let vm_geomean = geometric_mean(&rows.iter().map(|r| r.vm).collect::<Vec<_>>());
     SpecResult {

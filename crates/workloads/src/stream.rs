@@ -6,6 +6,7 @@
 use bmhive_cpu::catalog::XEON_E5_2682_V4;
 use bmhive_cpu::memsys::{MemorySystem, StreamKernel};
 use bmhive_cpu::Platform;
+use bmhive_telemetry as telemetry;
 
 /// One kernel's bar group: reported bandwidth in GB/s per platform.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +29,7 @@ pub fn run_stream() -> Vec<StreamRow> {
     };
     let bm = Platform::bm_guest(XEON_E5_2682_V4);
     let vm = Platform::vm_guest(XEON_E5_2682_V4);
+    telemetry::add_events(StreamKernel::ALL.len() as u64);
     StreamKernel::ALL
         .iter()
         .map(|&kernel| StreamRow {

@@ -17,6 +17,7 @@ use crate::env::GuestEnv;
 use bmhive_cpu::CpuWork;
 use bmhive_net::{MacAddr, Packet, PacketKind, ProtocolStack};
 use bmhive_sim::{Histogram, SimDuration, SimTime};
+use bmhive_telemetry as telemetry;
 
 /// Strategy compute per tick: a few µs of branchy, cache-resident work.
 fn strategy_work() -> CpuWork {
@@ -73,6 +74,7 @@ pub fn run_trading(env: &mut GuestEnv, ticks: u32) -> TradingRun {
             missed_fills += 1;
         }
     }
+    telemetry::add_events(u64::from(ticks));
     TradingRun {
         label: env.label,
         order_latency_us,

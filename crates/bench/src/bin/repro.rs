@@ -151,6 +151,14 @@ fn repro_main(args: &[String]) -> ExitCode {
         let stats = faults::disarm().expect("armed above");
         println!("======== fault stats ========");
         print!("{}", stats.to_text());
+        if let Some(dir) = &out_dir {
+            let path = dir.join("fault_stats.json");
+            if let Err(e) = std::fs::write(&path, stats.to_json()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("[repro] wrote fault stats to {}", path.display());
+        }
     }
 
     if telemetry_on {
@@ -513,12 +521,13 @@ fn print_help() {
     println!("  --metrics      print the latency attribution and metrics registry");
     println!("  --faults PLAN  arm a fault plan for the whole run: a canned name");
     println!("                 (link-flap, dma-timeout, backend-brownout, board-loss)");
-    println!("                 or a JSON plan file; prints the fault stats at the end.");
+    println!("                 or a JSON plan file; prints the fault stats at the end");
+    println!("                 (and writes DIR/fault_stats.json with --out).");
     println!("                 Pairs naturally with the 'faults' experiment.");
     println!();
     println!("experiments: table1 table2 fig1 table3 fig7 fig8 fig9 fig10 fig11");
     println!("             fig12 fig13 fig14 fig15 fig16 cost nested iobond asic offload sgx");
-    println!("             trading faults");
+    println!("             trading faults traffic_policies traffic_isolation");
 }
 
 fn print_sweep_help() {

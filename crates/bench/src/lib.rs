@@ -957,12 +957,263 @@ pub fn faults(seed: u64) -> String {
     out
 }
 
+/// Renders the open-loop traffic policy comparison: one pool of
+/// bm-guests behind the vSwitch, offered Poisson load at three
+/// utilizations, under every dispatch policy the traffic front-end
+/// implements. The cloning row is validated against the PS-cloning
+/// closed form (`bmhive_workloads::openloop`) at low load, where the
+/// synchronized-pair model is exact, and a bursty MMPP coda shows why
+/// depth-aware placement earns its probes.
+pub fn traffic_policies(seed: u64) -> String {
+    use bmhive_sim::SimDuration;
+    use bmhive_traffic::{ArrivalModel, DispatchMode, Policy, TrafficConfig};
+    use bmhive_workloads::openloop::{ps_cloned_mean_response, ServiceTime};
+
+    const GUESTS: usize = 8;
+    const REQUESTS: u64 = 4_000;
+    let service = ServiceTime::web_tier();
+    let net_hop = SimDuration::from_micros(2);
+    // Client↔guest constant outside the PS servers: one switch
+    // traversal plus the wire each way.
+    let net_const = bmhive_cloud::vswitch::VSwitch::DEFAULT_PER_PACKET + net_hop + net_hop;
+    let rate_at = |rho: f64| rho * GUESTS as f64 / service.mean().as_secs_f64();
+    let modes = [
+        DispatchMode::Single(Policy::RoundRobin),
+        DispatchMode::Single(Policy::LeastLoaded),
+        DispatchMode::Single(Policy::PowerOfTwo),
+        DispatchMode::Clone,
+        DispatchMode::Hedge {
+            policy: Policy::PowerOfTwo,
+            delay: service.p95(),
+        },
+    ];
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Open-loop traffic: {GUESTS} bm-guests, Poisson arrivals, exp({}) service, {REQUESTS} requests/cell",
+        service.mean()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<5} | {:<13} | {:>8} | {:>8} | {:>9} | {:>5} | {:>6}",
+        "load", "policy", "p50 us", "p99 us", "p99.9 us", "drops", "hedges"
+    )
+    .unwrap();
+    let mut clone_low_load_mean = 0.0;
+    for rho in [0.25, 0.55, 0.85] {
+        for mode in modes {
+            let cfg = TrafficConfig {
+                guests: GUESTS,
+                pmd_cores: 2,
+                service,
+                arrivals: ArrivalModel::Poisson {
+                    rate_rps: rate_at(rho),
+                },
+                requests: REQUESTS,
+                net_hop,
+                mode,
+                outage: None,
+            };
+            let report = bmhive_traffic::run(&cfg, seed);
+            if rho == 0.25 && mode == DispatchMode::Clone {
+                clone_low_load_mean = report.latency.mean();
+            }
+            writeln!(
+                out,
+                "{rho:<5} | {:<13} | {:>8.1} | {:>8.1} | {:>9.1} | {:>5} | {:>6}",
+                report.label,
+                report.latency.percentile(50.0),
+                report.latency.percentile(99.0),
+                report.latency.percentile(99.9),
+                report.dropped,
+                report.hedge_fired,
+            )
+            .unwrap();
+        }
+    }
+    // At rho = 0.25 the synchronized pair is exactly a PS server with
+    // demand min(X1, X2): E[T] = E[Xmin]/(1 - rho) + network constant.
+    let model = (ps_cloned_mean_response(&service, 0.25) + net_const).as_micros_f64();
+    let err = (clone_low_load_mean - model).abs() / model;
+    writeln!(
+        out,
+        "cloning vs PS closed form @ rho=0.25: measured {clone_low_load_mean:.1} us, model {model:.1} us, err {:.1}% -> {}",
+        err * 100.0,
+        if err < 0.10 { "PASS" } else { "FAIL" }
+    )
+    .unwrap();
+    // Bursty arrivals (same mean rate as rho = 0.55): oblivious
+    // round-robin eats the burst tail; two depth probes dodge it.
+    let burst = |mode| {
+        let cfg = TrafficConfig {
+            guests: GUESTS,
+            pmd_cores: 2,
+            service,
+            arrivals: ArrivalModel::Mmpp {
+                on_rps: rate_at(0.85),
+                off_rps: rate_at(0.25),
+                mean_dwell: SimDuration::from_millis(2),
+            },
+            requests: REQUESTS,
+            net_hop,
+            mode,
+            outage: None,
+        };
+        bmhive_traffic::run(&cfg, seed)
+    };
+    let rr = burst(DispatchMode::Single(Policy::RoundRobin));
+    let po2 = burst(DispatchMode::Single(Policy::PowerOfTwo));
+    writeln!(
+        out,
+        "burst (MMPP 0.85/0.25, 2ms dwell): rr p99.9 {:.1} us, po2 p99.9 {:.1} us",
+        rr.latency.percentile(99.9),
+        po2.latency.percentile(99.9),
+    )
+    .unwrap();
+    out
+}
+
+/// Renders the traffic isolation experiment: a board power-loss (the
+/// canned `board-loss` plan's event, scaled ×100 to datacenter
+/// milliseconds) freezes one bm-guest mid-run while open-loop traffic
+/// keeps arriving. Gates: the neighbours' p99 must not move (the §3
+/// isolation claim — one tenant's board dying is invisible to the
+/// others), and hedging must cut the victim's fault-window tail.
+pub fn traffic_isolation(seed: u64) -> String {
+    use bmhive_sim::{SimDuration, SimTime};
+    use bmhive_traffic::{ArrivalModel, DispatchMode, Outage, Policy, TrafficConfig};
+    use bmhive_workloads::openloop::ServiceTime;
+
+    const GUESTS: usize = 4;
+    const REQUESTS: u64 = 6_000;
+    const SCALE: u64 = 100;
+    let service = ServiceTime::web_tier();
+    // The canned plan's board power-loss, stretched from its ~µs test
+    // scale to the milliseconds a real board reset takes.
+    let plan = bmhive_faults::board_loss();
+    let ev = plan.events()[0];
+    let outage = Outage {
+        guest: 0,
+        at: SimTime::from_nanos(ev.at.as_nanos() * SCALE),
+        lasts: SimDuration::from_nanos(ev.duration.as_nanos() * SCALE),
+    };
+    let rho = 0.55;
+    let base = |mode, outage| TrafficConfig {
+        guests: GUESTS,
+        pmd_cores: 2,
+        service,
+        arrivals: ArrivalModel::Poisson {
+            rate_rps: rho * GUESTS as f64 / service.mean().as_secs_f64(),
+        },
+        requests: REQUESTS,
+        net_hop: SimDuration::from_micros(2),
+        mode,
+        outage,
+    };
+    let rr = DispatchMode::Single(Policy::RoundRobin);
+    let hedge = DispatchMode::Hedge {
+        policy: Policy::RoundRobin,
+        delay: service.p95(),
+    };
+    let clean = bmhive_traffic::run(&base(rr, None), seed);
+    let faulted = bmhive_traffic::run(&base(rr, Some(outage)), seed);
+    let hedged = bmhive_traffic::run(&base(hedge, Some(outage)), seed);
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Traffic isolation: board power-loss on guest 0 (plan '{}' x{SCALE}: at {} for {})",
+        plan.name, outage.at, outage.lasts
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{GUESTS} bm-guests, rr dispatch, rho {rho}, {REQUESTS} requests/pass"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<13} | {:>8} | {:>9} | {:>15}",
+        "pass", "p99 us", "p99.9 us", "window p99.9 us"
+    )
+    .unwrap();
+    for (label, report) in [
+        ("clean", &clean),
+        ("faulted", &faulted),
+        ("faulted+hedge", &hedged),
+    ] {
+        writeln!(
+            out,
+            "{label:<13} | {:>8.1} | {:>9.1} | {:>15.1}",
+            report.latency.percentile(99.0),
+            report.latency.percentile(99.9),
+            report.window.percentile(99.9),
+        )
+        .unwrap();
+    }
+    // Gate 1: neighbours are unperturbed. Open-loop arrivals plus
+    // round-robin mean the neighbour event streams are identical with
+    // and without the outage, so the ratio should be exactly 1.
+    let mut worst = 0.0f64;
+    let mut ratios = String::new();
+    for g in 1..GUESTS {
+        let ratio = faulted.per_guest[g].percentile(99.0) / clean.per_guest[g].percentile(99.0);
+        worst = worst.max(ratio);
+        if g > 1 {
+            ratios.push_str(", ");
+        }
+        ratios.push_str(&format!("g{g} {ratio:.3}"));
+    }
+    writeln!(
+        out,
+        "neighbour p99 ratio (faulted/clean): {ratios} (tol 1.25) -> {}",
+        if worst <= 1.25 { "PASS" } else { "FAIL" }
+    )
+    .unwrap();
+    // Gate 2: hedging rescues the fault window. Victim-bound requests
+    // clone to a live neighbour after ~p95 instead of waiting out the
+    // outage.
+    let unhedged_tail = faulted.window.percentile(99.9);
+    let hedged_tail = hedged.window.percentile(99.9);
+    writeln!(
+        out,
+        "hedging cuts fault-window p99.9: {unhedged_tail:.1} -> {hedged_tail:.1} us ({} hedges fired) -> {}",
+        hedged.hedge_fired,
+        if hedged_tail < unhedged_tail { "PASS" } else { "FAIL" }
+    )
+    .unwrap();
+    out
+}
+
 /// Every experiment in paper order: `(id, rendered output)`.
 /// Every experiment id, in the paper's presentation order.
-pub const EXPERIMENT_IDS: [&str; 22] = [
-    "table1", "table2", "fig1", "table3", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-    "fig13", "fig14", "fig15", "fig16", "cost", "nested", "iobond", "asic", "offload", "sgx",
-    "trading", "faults",
+pub const EXPERIMENT_IDS: [&str; 24] = [
+    "table1",
+    "table2",
+    "fig1",
+    "table3",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "cost",
+    "nested",
+    "iobond",
+    "asic",
+    "offload",
+    "sgx",
+    "trading",
+    "faults",
+    "traffic_policies",
+    "traffic_isolation",
 ];
 
 /// Runs one experiment by id. Returns `None` for unknown ids.
@@ -994,6 +1245,8 @@ pub fn run_experiment(id: &str, seed: u64) -> Option<String> {
         "sgx" => sgx(),
         "trading" => trading(seed),
         "faults" => faults(seed),
+        "traffic_policies" => traffic_policies(seed),
+        "traffic_isolation" => traffic_isolation(seed),
         _ => return None,
     })
 }

@@ -37,6 +37,11 @@ pub struct VSwitch {
     forwarded: u64,
     dropped: u64,
     flood_unknown: bool,
+    /// Frames delivered to each local port and not yet acknowledged by
+    /// [`Self::complete`] — the per-port queue depth the dispatch
+    /// policies read.
+    depths: HashMap<PortId, u64>,
+    peak_depth: u64,
 }
 
 impl VSwitch {
@@ -62,6 +67,8 @@ impl VSwitch {
             forwarded: 0,
             dropped: 0,
             flood_unknown: false,
+            depths: HashMap::new(),
+            peak_depth: 0,
         }
     }
 
@@ -128,6 +135,14 @@ impl VSwitch {
         match self.macs.get(&packet.dst) {
             Some(&port) => {
                 self.forwarded += 1;
+                let depth = self.depths.entry(port).or_insert(0);
+                *depth += 1;
+                if *depth > self.peak_depth {
+                    self.peak_depth = *depth;
+                    if telemetry::is_enabled() {
+                        telemetry::gauge_max("vswitch.peak_port_depth", self.peak_depth as f64);
+                    }
+                }
                 Forwarded::Local(port, served.end)
             }
             None if packet.dst == MacAddr::BROADCAST || self.flood_unknown => {
@@ -140,6 +155,27 @@ impl VSwitch {
                 Forwarded::Uplink(served.end)
             }
         }
+    }
+
+    /// Frames delivered to `port` and not yet completed — the cheap
+    /// queue-depth probe the least-loaded and power-of-two-choices
+    /// dispatch policies read per arrival.
+    pub fn queue_depth(&self, port: PortId) -> u64 {
+        self.depths.get(&port).copied().unwrap_or(0)
+    }
+
+    /// Acknowledges one delivered frame on `port` (the guest finished
+    /// serving the request it carried, or the request was cancelled),
+    /// decrementing its queue depth.
+    pub fn complete(&mut self, port: PortId) {
+        if let Some(depth) = self.depths.get_mut(&port) {
+            *depth = depth.saturating_sub(1);
+        }
+    }
+
+    /// High-water mark of any single port's queue depth.
+    pub fn peak_port_depth(&self) -> u64 {
+        self.peak_depth
     }
 
     /// Total frames forwarded.
@@ -295,6 +331,28 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         faults::disarm();
+    }
+
+    #[test]
+    fn queue_depth_tracks_deliveries_and_completions() {
+        let mut sw = VSwitch::new(2);
+        sw.attach(MacAddr::for_guest(2), PortId(2));
+        assert_eq!(sw.queue_depth(PortId(2)), 0);
+        for i in 0..3u64 {
+            sw.forward(&pkt(1, 2), SimTime::from_micros(i));
+        }
+        assert_eq!(sw.queue_depth(PortId(2)), 3);
+        assert_eq!(sw.peak_port_depth(), 3);
+        sw.complete(PortId(2));
+        sw.complete(PortId(2));
+        assert_eq!(sw.queue_depth(PortId(2)), 1);
+        // Uplink frames never enter a port queue; completes saturate.
+        sw.forward(&pkt(1, 99), SimTime::from_micros(10));
+        assert_eq!(sw.queue_depth(PortId(99)), 0);
+        sw.complete(PortId(2));
+        sw.complete(PortId(2));
+        assert_eq!(sw.queue_depth(PortId(2)), 0);
+        assert_eq!(sw.peak_port_depth(), 3, "peak is a high-water mark");
     }
 
     #[test]

@@ -173,6 +173,9 @@ pub struct FaultStats {
     pub recovered: BTreeMap<String, u64>,
     /// Retry budgets exhausted → escalated to reset, keyed by site.
     pub escalated: BTreeMap<String, u64>,
+    /// Escalation attribution: which operation observed the exhausted
+    /// budget, keyed by `"site/op"`.
+    pub escalated_ops: BTreeMap<String, u64>,
     /// Escalations resolved by reset + re-handshake, keyed by site.
     pub resets: BTreeMap<String, u64>,
     /// Inflight chains replayed after a reset, keyed by site.
@@ -201,14 +204,33 @@ impl FaultStats {
         self.injected.values().sum()
     }
 
-    /// `true` when every escalation was resolved by a completed reset —
-    /// i.e. no fault left a device wedged. Retry-recovered and shed
-    /// operations count as recovered by definition (shedding *is* the
-    /// brownout policy).
+    /// Per-site recovery outcome as `(recovered, unrecovered)` counts.
+    ///
+    /// A site's recovered count is its retry-loop recoveries plus its
+    /// completed resets; its unrecovered count is the escalations no
+    /// reset at that site resolved. Unlike a global escalated-vs-resets
+    /// total, this cannot be masked by a reset at a *different* site.
+    pub fn site_recovery(&self) -> BTreeMap<String, (u64, u64)> {
+        let mut sites: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        for (site, &n) in &self.recovered {
+            sites.entry(site.clone()).or_default().0 += n;
+        }
+        for (site, &n) in &self.resets {
+            sites.entry(site.clone()).or_default().0 += n;
+        }
+        for (site, &n) in &self.escalated {
+            let resets = self.resets.get(site).copied().unwrap_or(0);
+            sites.entry(site.clone()).or_default().1 += n.saturating_sub(resets);
+        }
+        sites
+    }
+
+    /// `true` when every site's escalations were resolved by completed
+    /// resets *at that site* — i.e. no fault left a device wedged.
+    /// Retry-recovered and shed operations count as recovered by
+    /// definition (shedding *is* the brownout policy).
     pub fn all_recovered(&self) -> bool {
-        let escalated: u64 = self.escalated.values().sum();
-        let resets: u64 = self.resets.values().sum();
-        escalated <= resets
+        self.site_recovery().values().all(|&(_, unrec)| unrec == 0)
     }
 
     /// Stable multi-line rendering for logs and CI comparison.
@@ -228,15 +250,74 @@ impl FaultStats {
         section(&mut out, "retries", &self.retries);
         section(&mut out, "recovered", &self.recovered);
         section(&mut out, "escalated", &self.escalated);
+        section(&mut out, "escalated-ops", &self.escalated_ops);
         section(&mut out, "resets", &self.resets);
         section(&mut out, "replayed", &self.replayed);
         section(&mut out, "shed", &self.shed);
         section(&mut out, "degraded-ns", &self.degraded_ns);
+        let sites = self.site_recovery();
+        if !sites.is_empty() {
+            let _ = writeln!(out, "  recovery:");
+            for (site, (rec, unrec)) in &sites {
+                let mut line = format!("    {site}: recovered {rec}, unrecovered {unrec}");
+                if *unrec > 0 {
+                    let prefix = format!("{site}/");
+                    let ops: Vec<&str> = self
+                        .escalated_ops
+                        .keys()
+                        .filter(|k| k.starts_with(&prefix))
+                        .map(String::as_str)
+                        .collect();
+                    if !ops.is_empty() {
+                        line.push_str(&format!(" (ops: {})", ops.join(", ")));
+                    }
+                }
+                let _ = writeln!(out, "{line}");
+            }
+        }
         let _ = writeln!(
             out,
             "  recovered: {}",
             if self.all_recovered() { "yes" } else { "NO" }
         );
+        out
+    }
+
+    /// Serialises the stats as JSON (the `fault_stats.json` the repro
+    /// binary writes under `--out` when a plan is armed).
+    pub fn to_json(&self) -> String {
+        fn map_obj(out: &mut String, key: &str, map: &BTreeMap<String, u64>, comma: bool) {
+            out.push_str(&format!("  \"{key}\": {{"));
+            for (i, (k, v)) in map.iter().enumerate() {
+                let sep = if i + 1 < map.len() { ", " } else { "" };
+                out.push_str(&format!("\"{}\": {v}{sep}", crate::json::escape(k)));
+            }
+            out.push_str(if comma { "},\n" } else { "}\n" });
+        }
+        let mut out = format!(
+            "{{\n  \"plan\": \"{}\",\n  \"all_recovered\": {},\n",
+            crate::json::escape(&self.plan),
+            self.all_recovered()
+        );
+        map_obj(&mut out, "injected", &self.injected, true);
+        map_obj(&mut out, "retries", &self.retries, true);
+        map_obj(&mut out, "recovered", &self.recovered, true);
+        map_obj(&mut out, "escalated", &self.escalated, true);
+        map_obj(&mut out, "escalated_ops", &self.escalated_ops, true);
+        map_obj(&mut out, "resets", &self.resets, true);
+        map_obj(&mut out, "replayed", &self.replayed, true);
+        map_obj(&mut out, "shed", &self.shed, true);
+        map_obj(&mut out, "degraded_ns", &self.degraded_ns, true);
+        out.push_str("  \"recovery\": {");
+        let sites = self.site_recovery();
+        for (i, (site, (rec, unrec))) in sites.iter().enumerate() {
+            let sep = if i + 1 < sites.len() { ", " } else { "" };
+            out.push_str(&format!(
+                "\"{}\": {{\"recovered\": {rec}, \"unrecovered\": {unrec}}}{sep}",
+                crate::json::escape(site)
+            ));
+        }
+        out.push_str("}\n}\n");
         out
     }
 }
@@ -428,6 +509,11 @@ pub fn retry_until_clear(
             FaultStats::bump(&mut ctx.stats.recovered, site_key, 1);
         } else {
             FaultStats::bump(&mut ctx.stats.escalated, site_key, 1);
+            FaultStats::bump(
+                &mut ctx.stats.escalated_ops,
+                format!("{}/{label}", site.name()),
+                1,
+            );
         }
         Some(Recovery {
             recovered,
@@ -452,13 +538,19 @@ pub fn retry_until_clear(
 }
 
 /// Records an escalation raised outside the retry loop (e.g. a power
-/// loss that wedges a device without any retryable operation).
-pub fn note_escalated(site: FaultSite) {
+/// loss that wedges a device without any retryable operation),
+/// attributed to the operation `op` that observed it.
+pub fn note_escalated(site: FaultSite, op: &str) {
     if !is_armed() {
         return;
     }
     with_context((), |ctx| {
         FaultStats::bump(&mut ctx.stats.escalated, site.name().to_string(), 1);
+        FaultStats::bump(
+            &mut ctx.stats.escalated_ops,
+            format!("{}/{op}", site.name()),
+            1,
+        );
     });
     telemetry::counter("faults_escalated", 1);
 }
@@ -650,10 +742,43 @@ mod tests {
         assert_eq!(r.attempts, RetryPolicy::device_path().max_attempts);
         let mut stats = disarm().unwrap();
         assert_eq!(stats.escalated.get("mailbox"), Some(&1));
+        // The escalation is attributed to the op that observed it.
+        assert_eq!(stats.escalated_ops.get("mailbox/step8"), Some(&1));
         assert!(!stats.all_recovered());
-        // A completed reset resolves the escalation.
+        assert_eq!(stats.site_recovery().get("mailbox"), Some(&(0, 1)));
+        let text = stats.to_text();
+        assert!(text.contains("mailbox: recovered 0, unrecovered 1 (ops: mailbox/step8)"));
+        assert!(text.contains("recovered: NO"));
+        // A reset at a *different* site must not mask the wedge.
+        FaultStats::bump(&mut stats.resets, "board".to_string(), 1);
+        assert!(!stats.all_recovered());
+        // A completed reset at the site resolves the escalation.
         FaultStats::bump(&mut stats.resets, "mailbox".to_string(), 1);
         assert!(stats.all_recovered());
+        assert_eq!(stats.site_recovery().get("mailbox"), Some(&(1, 0)));
+    }
+
+    #[test]
+    fn stats_json_reports_per_site_recovery() {
+        let plan = plan_with(vec![FaultEvent::window(
+            us(0),
+            FaultSite::Dma,
+            FaultKind::DmaTimeout,
+            SimDuration::from_micros(60),
+        )]);
+        arm(plan, 9);
+        retry_until_clear(
+            FaultSite::Dma,
+            "stage_chain",
+            us(0),
+            SimDuration::from_micros(1),
+        );
+        let stats = disarm().unwrap();
+        let json = stats.to_json();
+        assert!(json.contains("\"all_recovered\": true"));
+        assert!(json.contains("\"recovery\": {\"dma\": {\"recovered\": 1, \"unrecovered\": 0}}"));
+        // The JSON parses with the crate's own reader.
+        crate::json::parse(&json).expect("fault stats JSON is well-formed");
     }
 
     #[test]

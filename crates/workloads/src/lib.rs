@@ -23,6 +23,7 @@ pub mod fio;
 pub mod mariadb;
 pub mod netperf;
 pub mod nginx;
+pub mod openloop;
 pub mod redis;
 pub mod sockperf;
 pub mod spec;

@@ -1,0 +1,167 @@
+//! Open-loop service hooks: per-request service demands for the
+//! traffic front-end.
+//!
+//! The closed-loop workload models in this crate drive a fixed client
+//! population; the open-loop front-end (`bmhive-traffic`) instead
+//! offers arrivals at a rate independent of completions, the regime in
+//! which the multi-tenant tail claims of §4 actually bite. This module
+//! contributes the service side of that model: a [`ServiceTime`]
+//! distribution sampled once per request (and once per clone), plus
+//! the processor-sharing closed forms the cloning experiment validates
+//! against (see the request-cloning PS reproducibility report cited in
+//! PAPERS.md).
+
+use bmhive_sim::{SimDuration, SimRng};
+
+/// A per-request service-demand distribution.
+///
+/// Demands are expressed in virtual time of *work*: a processor-sharing
+/// server with `n` active requests completes a demand `x` after `n·x`
+/// of wall (virtual) time if the population stays at `n`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServiceTime {
+    /// Exponentially distributed demand with the given mean — the
+    /// M/M/-PS case with a closed-form response time.
+    Exponential {
+        /// Mean service demand.
+        mean: SimDuration,
+    },
+    /// Every request demands exactly `value` of work (pure pacing,
+    /// useful for deterministic engine tests).
+    Deterministic {
+        /// Fixed service demand.
+        value: SimDuration,
+    },
+}
+
+impl ServiceTime {
+    /// The canonical web-tier request: exponentially distributed
+    /// around 100 µs, the right order for the NGINX/Redis-class
+    /// services the paper hosts on bm-guests.
+    pub fn web_tier() -> ServiceTime {
+        ServiceTime::Exponential {
+            mean: SimDuration::from_micros(100),
+        }
+    }
+
+    /// Draws one service demand.
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        match *self {
+            ServiceTime::Exponential { mean } => {
+                SimDuration::from_nanos(rng.exp(mean.as_nanos() as f64).round() as u64)
+            }
+            ServiceTime::Deterministic { value } => value,
+        }
+    }
+
+    /// The distribution mean.
+    pub fn mean(&self) -> SimDuration {
+        match *self {
+            ServiceTime::Exponential { mean } => mean,
+            ServiceTime::Deterministic { value } => value,
+        }
+    }
+
+    /// The 95th percentile of the demand distribution. The hedging
+    /// policy derives its hedge delay from this: a clone fires only
+    /// for the slowest ~5% of requests.
+    pub fn p95(&self) -> SimDuration {
+        match *self {
+            // Inverse CDF of the exponential at 0.95: -mean · ln(0.05).
+            ServiceTime::Exponential { mean } => mean.mul_f64(-(0.05f64.ln())),
+            ServiceTime::Deterministic { value } => value,
+        }
+    }
+
+    /// Mean of the minimum of two independent draws — the effective
+    /// service demand under 2-way synchronized cloning with
+    /// first-response-wins cancellation.
+    pub fn min_of_two_mean(&self) -> SimDuration {
+        match *self {
+            // min of two iid exponentials is exponential at twice the
+            // rate.
+            ServiceTime::Exponential { mean } => mean.mul_f64(0.5),
+            ServiceTime::Deterministic { value } => value,
+        }
+    }
+}
+
+/// M/M/1-PS mean response time: `E[S] / (1 - rho)`.
+///
+/// Holds per server in a pool when the per-server utilization is `rho`
+/// and arrivals split evenly (round-robin or random).
+pub fn ps_mean_response(service_mean: SimDuration, rho: f64) -> SimDuration {
+    assert!((0.0..1.0).contains(&rho), "ps_mean_response: rho {rho}");
+    service_mean.mul_f64(1.0 / (1.0 - rho))
+}
+
+/// Mean response time of a 2-way co-located cloning group under
+/// processor sharing.
+///
+/// Both clones of a request join both servers of a fixed pair and the
+/// loser is cancelled the instant the winner finishes, so the pair
+/// stays synchronized: it behaves exactly like a single PS server
+/// whose service demand is `min(X1, X2)` (the PS-cloning model of the
+/// reproducibility report). With exponential demands of mean `m`,
+/// `E[min] = m/2` and each request still consumes `m` of total work
+/// across the pair, so the pair's utilization equals the uncloned
+/// per-server `rho` — cloning halves the low-load response without
+/// raising utilization.
+pub fn ps_cloned_mean_response(service: &ServiceTime, rho: f64) -> SimDuration {
+    assert!(
+        (0.0..1.0).contains(&rho),
+        "ps_cloned_mean_response: rho {rho}"
+    );
+    service.min_of_two_mean().mul_f64(1.0 / (1.0 - rho))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_sample_mean_converges() {
+        let svc = ServiceTime::web_tier();
+        let mut rng = SimRng::new(7);
+        let n = 100_000;
+        let sum: u64 = (0..n).map(|_| svc.sample(&mut rng).as_nanos()).sum();
+        let mean_us = sum as f64 / n as f64 / 1e3;
+        assert!((97.0..103.0).contains(&mean_us), "mean {mean_us} us");
+    }
+
+    #[test]
+    fn deterministic_is_constant() {
+        let svc = ServiceTime::Deterministic {
+            value: SimDuration::from_micros(50),
+        };
+        let mut rng = SimRng::new(1);
+        assert_eq!(svc.sample(&mut rng), SimDuration::from_micros(50));
+        assert_eq!(svc.p95(), SimDuration::from_micros(50));
+        assert_eq!(svc.min_of_two_mean(), SimDuration::from_micros(50));
+    }
+
+    #[test]
+    fn p95_matches_the_inverse_cdf() {
+        let svc = ServiceTime::web_tier();
+        // -100us * ln(0.05) ~ 299.6us.
+        let p95_us = svc.p95().as_nanos() as f64 / 1e3;
+        assert!((299.0..300.5).contains(&p95_us), "p95 {p95_us} us");
+    }
+
+    #[test]
+    fn closed_forms_scale_with_load() {
+        let svc = ServiceTime::web_tier();
+        let m = svc.mean();
+        assert_eq!(ps_mean_response(m, 0.0), m);
+        assert_eq!(ps_mean_response(m, 0.5), m.mul_f64(2.0));
+        // Cloning halves the zero-load response.
+        assert_eq!(ps_cloned_mean_response(&svc, 0.0), m.mul_f64(0.5));
+        assert!(ps_cloned_mean_response(&svc, 0.5) < ps_mean_response(m, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "rho")]
+    fn saturated_load_is_rejected() {
+        let _ = ps_mean_response(SimDuration::from_micros(100), 1.0);
+    }
+}

@@ -10,21 +10,32 @@
 //! cargo run -p bmhive-bench --release --bin repro -- --metrics fig11
 //! cargo run -p bmhive-bench --release --bin repro -- --faults link-flap faults
 //! cargo run -p bmhive-bench --release --bin repro -- sweep --jobs 8
+//! cargo run -p bmhive-bench --release --bin repro -- sweep --jobs 8 --shard 0/3 --out shard-0
+//! cargo run -p bmhive-bench --release --bin repro -- merge shard-0 shard-1 shard-2
 //! cargo run -p bmhive-bench --release --bin repro -- bench --out BENCH_results.json
 //! ```
 
 use bmhive_bench::harness::BenchReport;
-use bmhive_bench::sweep::{self, SweepSpec};
+use bmhive_bench::merge;
+use bmhive_bench::sweep::{self, Shard, SweepSpec};
 use bmhive_faults as faults;
 use bmhive_telemetry as telemetry;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
+/// The counting allocator backs the `fleet_scale` experiment's
+/// peak-RSS-proxy gate: per-thread live/peak byte counters over the
+/// system allocator. Overhead is two thread-local adds per
+/// alloc/dealloc; experiments that don't meter never read it.
+#[global_allocator]
+static ALLOC: telemetry::alloc::CountingAlloc = telemetry::alloc::CountingAlloc::system();
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("sweep") => sweep_main(&args[1..]),
+        Some("merge") => merge_main(&args[1..]),
         Some("bench") => bench_main(&args[1..]),
         _ => repro_main(&args),
     }
@@ -203,14 +214,30 @@ fn repro_main(args: &[String]) -> ExitCode {
 fn sweep_main(args: &[String]) -> ExitCode {
     let mut spec = SweepSpec::full_matrix();
     let mut out_dir: Option<PathBuf> = None;
+    let mut shard: Option<Shard> = None;
     let mut experiments: Vec<String> = Vec::new();
     let mut args = args.iter().cloned();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--jobs" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(0) => {
+                    eprintln!("--jobs must be at least 1 (got 0)");
+                    return ExitCode::FAILURE;
+                }
                 Some(n) => spec.jobs = n,
                 None => {
-                    eprintln!("--jobs requires an integer");
+                    eprintln!("--jobs requires a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--shard" => match args.next().map(|s| Shard::parse(&s)) {
+                Some(Ok(s)) => shard = Some(s),
+                Some(Err(e)) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("--shard requires I/N (e.g. 0/3); I counts from 0 and must be < N");
                     return ExitCode::FAILURE;
                 }
             },
@@ -257,6 +284,10 @@ fn sweep_main(args: &[String]) -> ExitCode {
         eprintln!("sweep --trace needs --out DIR to write the per-cell trace files");
         return ExitCode::FAILURE;
     }
+    if shard.is_some() && out_dir.is_none() {
+        eprintln!("sweep --shard needs --out DIR to hold the shard's cells and manifest");
+        return ExitCode::FAILURE;
+    }
     if let Some(dir) = &out_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create --out {}: {e}", dir.display());
@@ -265,7 +296,7 @@ fn sweep_main(args: &[String]) -> ExitCode {
     }
 
     let start = Instant::now();
-    let outputs = match sweep::run_sweep(&spec) {
+    let outputs = match sweep::run_sweep_shard(&spec, shard.unwrap_or(Shard::WHOLE)) {
         Ok(outputs) => outputs,
         Err(e) => {
             eprintln!("{e}");
@@ -274,32 +305,118 @@ fn sweep_main(args: &[String]) -> ExitCode {
     };
     let wall = start.elapsed();
 
-    for out in &outputs {
+    for (_, out) in &outputs {
         print!("{}", sweep::render_cell(out));
-        if let Some(dir) = &out_dir {
-            let stem = out.cell.file_stem();
-            let txt = dir.join(format!("{stem}.txt"));
-            if let Err(e) = std::fs::write(&txt, sweep::render_cell(out)) {
-                eprintln!("cannot write {}: {e}", txt.display());
-                return ExitCode::FAILURE;
-            }
-            if let Some(trace) = &out.trace_json {
-                let path = dir.join(format!("{stem}.trace.json"));
-                if let Err(e) = std::fs::write(&path, trace) {
-                    eprintln!("cannot write {}: {e}", path.display());
+    }
+    if let Some(dir) = &out_dir {
+        match shard {
+            // Sharded runs write the manifest alongside the cells so
+            // `repro merge` can validate and reassemble the split.
+            Some(shard) => {
+                if let Err(e) = merge::write_shard_dir(dir, &spec, shard, &outputs) {
+                    eprintln!("{e}");
                     return ExitCode::FAILURE;
+                }
+            }
+            None => {
+                for (_, out) in &outputs {
+                    let stem = out.cell.file_stem();
+                    let txt = dir.join(format!("{stem}.txt"));
+                    if let Err(e) = std::fs::write(&txt, sweep::render_cell(out)) {
+                        eprintln!("cannot write {}: {e}", txt.display());
+                        return ExitCode::FAILURE;
+                    }
+                    if let Some(trace) = &out.trace_json {
+                        let path = dir.join(format!("{stem}.trace.json"));
+                        if let Err(e) = std::fs::write(&path, trace) {
+                            eprintln!("cannot write {}: {e}", path.display());
+                            return ExitCode::FAILURE;
+                        }
+                    }
                 }
             }
         }
     }
+    let shard_note = match shard {
+        Some(s) => format!(" [shard {s}]"),
+        None => String::new(),
+    };
     eprintln!(
-        "[sweep] {} cell(s) ({} experiment(s) x {} seed(s) x {} plan(s)) with --jobs {} in {:.3}s",
+        "[sweep] {} cell(s){shard_note} ({} experiment(s) x {} seed(s) x {} plan(s)) with --jobs {} in {:.3}s",
         outputs.len(),
         spec.experiments.len(),
         spec.seeds.len(),
         spec.plans.len(),
-        spec.jobs.max(1),
+        spec.jobs,
         wall.as_secs_f64(),
+    );
+    ExitCode::SUCCESS
+}
+
+/// `repro merge`: validate shard directories and reassemble the serial
+/// sweep output from them.
+fn merge_main(args: &[String]) -> ExitCode {
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut out_dir: Option<PathBuf> = None;
+    let mut args = args.iter().cloned();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(dir) => out_dir = Some(dir.into()),
+                None => {
+                    eprintln!("--out requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                print_merge_help();
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown merge flag '{other}' (see repro merge --help)");
+                return ExitCode::FAILURE;
+            }
+            other => dirs.push(other.into()),
+        }
+    }
+    if dirs.is_empty() {
+        eprintln!("repro merge needs at least one shard directory (see repro merge --help)");
+        return ExitCode::FAILURE;
+    }
+
+    let plan = match merge::plan_merge(&dirs) {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let combined = match plan.concat_reports() {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{combined}");
+    if let Some(dir) = &out_dir {
+        if let Err(e) = plan.write_combined(dir) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "[merge] wrote {} cell(s) under {}",
+            plan.cells.len(),
+            dir.display()
+        );
+    }
+    let splits: Vec<String> = plan.manifests.iter().map(|m| m.shard.to_string()).collect();
+    eprintln!(
+        "[merge] {} shard(s) [{}] -> {} cell(s), spec {}",
+        plan.manifests.len(),
+        splits.join(", "),
+        plan.cells.len(),
+        plan.manifests[0].spec_hash,
     );
     ExitCode::SUCCESS
 }
@@ -512,6 +629,7 @@ fn print_help() {
         "USAGE: repro [--seed N] [--out DIR] [--trace FILE] [--metrics] [--faults PLAN] [experiment ...]"
     );
     println!("       repro sweep [...]   parallel (experiment x seed x plan) sweep (see repro sweep --help)");
+    println!("       repro merge [...]   reassemble sharded sweep output (see repro merge --help)");
     println!("       repro bench [...]   wall-clock benchmark trajectory (see repro bench --help)");
     println!();
     println!("  --seed N       seed for every stochastic experiment (default 1)");
@@ -527,22 +645,41 @@ fn print_help() {
     println!();
     println!("experiments: table1 table2 fig1 table3 fig7 fig8 fig9 fig10 fig11");
     println!("             fig12 fig13 fig14 fig15 fig16 cost nested iobond asic offload sgx");
-    println!("             trading faults traffic_policies traffic_isolation");
+    println!("             trading faults traffic_policies traffic_isolation fleet_scale");
 }
 
 fn print_sweep_help() {
     println!("repro sweep — run the (experiment x seed x fault-plan) cross product in parallel");
     println!();
-    println!("USAGE: repro sweep [--jobs N] [--seeds LIST] [--plans LIST] [--trace] [--out DIR] [experiment ...]");
+    println!("USAGE: repro sweep [--jobs N] [--seeds LIST] [--plans LIST] [--shard I/N] [--trace] [--out DIR] [experiment ...]");
     println!();
-    println!("  --jobs N       worker threads (default 1; output is byte-identical for any N)");
+    println!("  --jobs N       worker threads, at least 1 (output is byte-identical for any N)");
     println!("  --seeds LIST   comma-separated seeds (default 1,2,3,4)");
     println!("  --plans LIST   comma-separated plan names/files; 'clean' = no faults,");
     println!("                 'all' = clean + every canned plan (the default)");
+    println!("  --shard I/N    run only the cells whose canonical index is congruent to I");
+    println!("                 mod N (0 <= I < N); requires --out, where a shard.json");
+    println!("                 manifest is written for `repro merge`. Run every shard of");
+    println!("                 the same spec (anywhere), then merge the directories.");
     println!("  --trace        record a chrome trace per cell (requires --out)");
     println!("  --out DIR      write DIR/<exp>-s<seed>-<plan>.txt (+ .trace.json with --trace)");
     println!();
     println!("Cells print in deterministic (experiment, seed, plan) order regardless of --jobs.");
+}
+
+fn print_merge_help() {
+    println!("repro merge — reassemble a sharded sweep, byte-identical to the serial run");
+    println!();
+    println!("USAGE: repro merge [--out DIR] SHARD_DIR...");
+    println!();
+    println!("  --out DIR      also copy every cell's files into DIR (the combined");
+    println!("                 directory a whole-matrix `sweep --out` would have written)");
+    println!();
+    println!("Validates the shard.json manifests first: every shard must come from the");
+    println!("same spec (hash + field check), no cell may appear twice, and the shards");
+    println!("together must cover the whole matrix. The concatenated cell reports are");
+    println!("printed to stdout in canonical order — byte-identical to `repro sweep");
+    println!("--jobs 1` stdout for the same spec.");
 }
 
 fn print_bench_help() {

@@ -6,6 +6,7 @@
 //! evaluation. All experiments are deterministic in their seed.
 
 pub mod harness;
+pub mod merge;
 pub mod sweep;
 
 use std::fmt::Write as _;
@@ -13,7 +14,7 @@ use std::fmt::Write as _;
 use bmhive_cloud::blockstore::IoKind;
 use bmhive_cloud::catalog::{ServerConstraints, INSTANCE_CATALOG};
 use bmhive_cloud::cost::CostModel;
-use bmhive_cloud::fleet::{ExitCensus, PreemptionStudy};
+use bmhive_cloud::fleet::{ExitCensus, ExitRateStream, PreemptionStudy};
 use bmhive_cloud::security::{ServiceKind, ServiceProfile};
 use bmhive_cpu::nested::NestedVirtModel;
 use bmhive_hypervisor::IoPath;
@@ -1187,9 +1188,197 @@ pub fn traffic_isolation(seed: u64) -> String {
     out
 }
 
+/// Renders the fleet-scale study: the §2 exit-rate census run as a
+/// *stream* at 10 000, 100 000, and 1 000 000 guests, proving the
+/// census costs O(1) memory in guest count while staying exactly equal
+/// to a materialized fold of the same draws.
+///
+/// Peak-allocation columns are a peak-RSS proxy metered by the
+/// [`telemetry::alloc::CountingAlloc`] thread-local counters; they
+/// read `n/a` (and the memory gate reports `SKIPPED`) when the
+/// counting allocator is not installed as `#[global_allocator]` — the
+/// `repro` binary installs it. The metered closures are deliberately
+/// telemetry-free so the printed byte counts are deterministic.
+pub fn fleet_scale(seed: u64) -> String {
+    const THRESHOLDS: [f64; 3] = [10_000.0, 50_000.0, 100_000.0];
+    const SCALES: [u64; 3] = [10_000, 100_000, 1_000_000];
+    const BASE: u64 = SCALES[0];
+    /// Memory-gate slack: the 1M-guest census may exceed the 10k one
+    /// by at most this much before the O(1) claim fails.
+    const SLACK_BYTES: u64 = 64 * 1024;
+
+    let metered = telemetry::alloc::installed();
+    let fmt_peak = |peak: u64| {
+        if metered {
+            format!("{peak} B")
+        } else {
+            "n/a".to_string()
+        }
+    };
+
+    // The materialized reference: drain the same stream into a Vec for
+    // exact quickselect percentiles (only feasible at the base scale).
+    let (rates, materialized_peak) = telemetry::alloc::measure_peak(|| {
+        ExitRateStream::production(seed)
+            .take(BASE as usize)
+            .collect::<Vec<f64>>()
+    });
+    let mut by_hand = ExitCensus::new(&THRESHOLDS);
+    for &rate in &rates {
+        by_hand.observe(rate);
+    }
+
+    // The streaming censuses, metered. Telemetry happens outside the
+    // measurement window (registry writes allocate).
+    let mut runs: Vec<(u64, ExitCensus, u64)> = Vec::new();
+    for &n in &SCALES {
+        let (census, peak) = telemetry::alloc::measure_peak(|| {
+            let mut census = ExitCensus::new(&THRESHOLDS);
+            for rate in ExitRateStream::production(seed).take(n as usize) {
+                census.observe(rate);
+            }
+            census
+        });
+        telemetry::add_events(n);
+        telemetry::counter("fleet.guests_censused", n);
+        telemetry::gauge_max("fleet.census_peak_alloc_bytes", peak as f64);
+        runs.push((n, census, peak));
+    }
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Fleet scale: streaming exit-rate census, {}..{} guests (seed {seed})",
+        SCALES[0],
+        SCALES[SCALES.len() - 1]
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:>9} | {:>7} | {:>7} | {:>7} | {:>8} | {:>8} | {:>8} | {:>12}",
+        "guests", ">10K %", ">50K %", ">100K %", "p50", "p99", "p99.9", "peak alloc"
+    )
+    .unwrap();
+    for (n, census, peak) in &runs {
+        let rows = census.rows();
+        writeln!(
+            out,
+            "{n:>9} | {:>7.3} | {:>7.3} | {:>7.3} | {:>8.0} | {:>8.0} | {:>8.0} | {:>12}",
+            rows[0].1,
+            rows[1].1,
+            rows[2].1,
+            census.rate_percentile(50.0),
+            census.rate_percentile(99.0),
+            census.rate_percentile(99.9),
+            fmt_peak(*peak),
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "materialized {BASE}-guest reference peak: {}",
+        fmt_peak(materialized_peak)
+    )
+    .unwrap();
+
+    // Gate 1: the streaming census is *exactly* a fold of the stream —
+    // same draws, same counts, same histogram, bit for bit.
+    let base_census = &runs[0].1;
+    let fold_exact = by_hand.rows() == base_census.rows()
+        && by_hand.total() == base_census.total()
+        && by_hand.rate_percentile(99.0).to_bits() == base_census.rate_percentile(99.0).to_bits();
+    writeln!(
+        out,
+        "streaming census == materialized fold at {BASE} guests (bit-exact) -> {}",
+        if fold_exact { "PASS" } else { "FAIL" }
+    )
+    .unwrap();
+
+    // Gate 2: histogram percentiles track exact quickselect on the
+    // materialized reference within the bucket-midpoint resolution.
+    let mut worst_pct_err = 0.0f64;
+    for p in [50.0, 99.0, 99.9] {
+        let exact = bmhive_sim::stats::exact_percentile(&rates, p);
+        let streamed = base_census.rate_percentile(p);
+        worst_pct_err = worst_pct_err.max((streamed - exact).abs() / exact);
+    }
+    writeln!(
+        out,
+        "histogram percentiles vs quickselect at {BASE} guests: worst rel err {:.4} (tol 0.05) -> {}",
+        worst_pct_err,
+        if worst_pct_err < 0.05 { "PASS" } else { "FAIL" }
+    )
+    .unwrap();
+
+    // Gate 3: census fractions are stable across two decades of scale.
+    let base_rows = runs[0].1.rows();
+    let big_rows = runs[runs.len() - 1].1.rows();
+    let mut worst_drift = 0.0f64;
+    for (b, g) in base_rows.iter().zip(&big_rows) {
+        worst_drift = worst_drift.max((b.1 - g.1).abs());
+    }
+    writeln!(
+        out,
+        "census fractions, 1M vs {BASE} guests: worst drift {:.3} pp (tol 0.75) -> {}",
+        worst_drift,
+        if worst_drift < 0.75 { "PASS" } else { "FAIL" }
+    )
+    .unwrap();
+
+    // Gate 4: O(1) memory — a 100x larger fleet must not allocate more
+    // than the small fleet plus slack.
+    if metered {
+        let base_peak = runs[0].2;
+        let big_peak = runs[runs.len() - 1].2;
+        writeln!(
+            out,
+            "O(1) memory: 1M-guest peak {big_peak} B <= {BASE}-guest peak {base_peak} B + {SLACK_BYTES} B -> {}",
+            if big_peak <= base_peak + SLACK_BYTES { "PASS" } else { "FAIL" }
+        )
+        .unwrap();
+    } else {
+        writeln!(
+            out,
+            "O(1) memory: counting allocator not installed -> SKIPPED"
+        )
+        .unwrap();
+    }
+
+    // Gate 5: the preemption study's streaming twin tracks the exact
+    // quickselect study over identical draws.
+    let exact_study = PreemptionStudy::run(4_000, seed);
+    let stream_study = PreemptionStudy::stream(4_000, seed);
+    let mut worst_study_err = 0.0f64;
+    for h in 0..24 {
+        for (a, b) in [
+            (exact_study.shared_p99[h], stream_study.shared_p99[h]),
+            (exact_study.shared_p999[h], stream_study.shared_p999[h]),
+            (exact_study.exclusive_p99[h], stream_study.exclusive_p99[h]),
+            (
+                exact_study.exclusive_p999[h],
+                stream_study.exclusive_p999[h],
+            ),
+        ] {
+            worst_study_err = worst_study_err.max((b - a).abs() / a);
+        }
+    }
+    writeln!(
+        out,
+        "preemption stream vs exact (4000 VMs, 24h): worst rel err {:.4} (tol 0.10) -> {}",
+        worst_study_err,
+        if worst_study_err < 0.10 {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    )
+    .unwrap();
+    out
+}
+
 /// Every experiment in paper order: `(id, rendered output)`.
 /// Every experiment id, in the paper's presentation order.
-pub const EXPERIMENT_IDS: [&str; 24] = [
+pub const EXPERIMENT_IDS: [&str; 25] = [
     "table1",
     "table2",
     "fig1",
@@ -1214,6 +1403,7 @@ pub const EXPERIMENT_IDS: [&str; 24] = [
     "faults",
     "traffic_policies",
     "traffic_isolation",
+    "fleet_scale",
 ];
 
 /// Runs one experiment by id. Returns `None` for unknown ids.
@@ -1247,6 +1437,7 @@ pub fn run_experiment(id: &str, seed: u64) -> Option<String> {
         "faults" => faults(seed),
         "traffic_policies" => traffic_policies(seed),
         "traffic_isolation" => traffic_isolation(seed),
+        "fleet_scale" => fleet_scale(seed),
         _ => return None,
     })
 }

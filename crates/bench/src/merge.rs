@@ -1,0 +1,556 @@
+//! Shard manifests and the merge step that reassembles a distributed
+//! sweep.
+//!
+//! A sharded sweep (`repro sweep --shard I/N --out DIR`) writes the
+//! same per-cell artifacts a whole-matrix `--out` run writes — one
+//! `<stem>.txt` report per cell, plus `<stem>.trace.json` when traced
+//! — and adds a self-describing manifest, [`MANIFEST_FILE`], recording
+//! *which* cells of *which* spec the directory holds. `repro merge
+//! DIR...` then reassembles the original run from any set of shard
+//! directories, validating three things before touching a single cell
+//! file:
+//!
+//! 1. **Spec identity** — every manifest's [`spec_hash`] (an FNV-1a of
+//!    the canonical spec: experiments, seeds, plans, trace flag) must
+//!    match, and the spec fields are cross-checked structurally so a
+//!    hash collision cannot slip through.
+//! 2. **Disjointness** — no cell index may appear in two shards.
+//! 3. **Completeness** — the union of shard cells must be exactly
+//!    `0..total_cells`.
+//!
+//! Because cells are byte-deterministic and the canonical cell order
+//! is a pure function of the spec (experiment-major, then seed, then
+//! plan — see [`SweepSpec::cells`]), concatenating the per-cell
+//! reports in canonical index order reproduces the serial
+//! `repro sweep --jobs 1` stdout byte for byte, and copying the cell
+//! files into a combined directory reproduces its `--out` directory.
+//! CI's shard matrix proves merge == serial with `cmp` on every PR.
+
+use crate::sweep::{CellOutput, Shard, SweepSpec, CLEAN};
+use bmhive_faults::json::{self, Json};
+use bmhive_telemetry::export::json_escape;
+use std::fmt;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// The manifest file a sharded sweep writes into its `--out`
+/// directory.
+pub const MANIFEST_FILE: &str = "shard.json";
+
+/// The manifest format version this build reads and writes.
+pub const MANIFEST_FORMAT: u64 = 1;
+
+/// One cell a shard ran: its canonical index and the artifact stem its
+/// files are named with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestCell {
+    /// Canonical index in the spec's cell order.
+    pub index: usize,
+    /// Filename stem (`<stem>.txt`, `<stem>.trace.json`).
+    pub stem: String,
+}
+
+/// The self-describing record of one shard's run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardManifest {
+    /// Which stripe of the split this directory holds.
+    pub shard: Shard,
+    /// FNV-1a hash of the canonical spec (see [`spec_hash`]).
+    pub spec_hash: String,
+    /// Experiment ids, in spec order.
+    pub experiments: Vec<String>,
+    /// Seeds, in spec order.
+    pub seeds: Vec<u64>,
+    /// Plan column (`None` = clean), in spec order.
+    pub plans: Vec<Option<String>>,
+    /// Whether per-cell chrome traces were recorded.
+    pub trace: bool,
+    /// Cells in the *whole* matrix (all shards together).
+    pub total_cells: usize,
+    /// The cells this shard owns, in canonical order.
+    pub cells: Vec<ManifestCell>,
+}
+
+/// Why a merge (or a manifest read) failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// A directory could not be read or a cell file is missing.
+    Io(String),
+    /// A manifest that does not parse or has the wrong format version.
+    Manifest(String),
+    /// Two manifests describe different sweeps.
+    SpecMismatch(String),
+    /// A cell index owned by more than one shard directory.
+    Overlap {
+        /// The doubly-owned canonical cell index.
+        index: usize,
+        /// The two directories claiming it.
+        dirs: (String, String),
+    },
+    /// Shards that do not cover the whole matrix.
+    Missing {
+        /// Number of uncovered cells.
+        count: usize,
+        /// The first uncovered canonical index.
+        first: usize,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::Io(msg) => write!(f, "merge: {msg}"),
+            MergeError::Manifest(msg) => write!(f, "merge: bad manifest: {msg}"),
+            MergeError::SpecMismatch(msg) => write!(f, "merge: shard specs differ: {msg}"),
+            MergeError::Overlap { index, dirs } => write!(
+                f,
+                "merge: shards overlap: cell {index} is in both {} and {}",
+                dirs.0, dirs.1
+            ),
+            MergeError::Missing { count, first } => write!(
+                f,
+                "merge: incomplete coverage: {count} cell(s) missing (first: {first}); \
+                 pass every shard directory of the split"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// FNV-1a 64 over a canonical rendering of the spec's output-relevant
+/// fields (experiments, seeds, plans, trace — `jobs` is excluded since
+/// worker count never changes the bytes), rendered as 16 hex digits.
+pub fn spec_hash(spec: &SweepSpec) -> String {
+    let mut canon = String::new();
+    canon.push_str("experiments=");
+    for e in &spec.experiments {
+        canon.push_str(e);
+        canon.push('\x1f');
+    }
+    canon.push_str("\x1eseeds=");
+    for s in &spec.seeds {
+        write!(canon, "{s}\x1f").unwrap();
+    }
+    canon.push_str("\x1eplans=");
+    for p in &spec.plans {
+        canon.push_str(p.as_deref().unwrap_or(CLEAN));
+        canon.push('\x1f');
+    }
+    write!(canon, "\x1etrace={}", spec.trace).unwrap();
+
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in canon.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+impl ShardManifest {
+    /// Builds the manifest for `shard` of `spec` (validating the spec
+    /// and shard exactly as the run itself would).
+    pub fn for_shard(spec: &SweepSpec, shard: Shard) -> Result<Self, crate::sweep::SweepError> {
+        let cells = spec
+            .shard_cells(shard)?
+            .into_iter()
+            .map(|(index, cell)| ManifestCell {
+                index,
+                stem: cell.file_stem(),
+            })
+            .collect();
+        Ok(ShardManifest {
+            shard,
+            spec_hash: spec_hash(spec),
+            experiments: spec.experiments.clone(),
+            seeds: spec.seeds.clone(),
+            plans: spec.plans.clone(),
+            trace: spec.trace,
+            total_cells: spec.cells()?.len(),
+            cells,
+        })
+    }
+
+    /// Serializes the manifest as stable, diff-friendly JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "{{").unwrap();
+        writeln!(out, "  \"format\": {MANIFEST_FORMAT},").unwrap();
+        writeln!(
+            out,
+            "  \"shard\": {{\"index\": {}, \"count\": {}}},",
+            self.shard.index(),
+            self.shard.count()
+        )
+        .unwrap();
+        writeln!(out, "  \"spec_hash\": \"{}\",", self.spec_hash).unwrap();
+        let str_list = |items: &[String]| {
+            items
+                .iter()
+                .map(|s| format!("\"{}\"", json_escape(s)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        writeln!(out, "  \"experiments\": [{}],", str_list(&self.experiments)).unwrap();
+        writeln!(
+            out,
+            "  \"seeds\": [{}],",
+            self.seeds
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+        .unwrap();
+        let plans: Vec<String> = self
+            .plans
+            .iter()
+            .map(|p| p.clone().unwrap_or_else(|| CLEAN.to_string()))
+            .collect();
+        writeln!(out, "  \"plans\": [{}],", str_list(&plans)).unwrap();
+        writeln!(out, "  \"trace\": {},", self.trace).unwrap();
+        writeln!(out, "  \"total_cells\": {},", self.total_cells).unwrap();
+        writeln!(out, "  \"cells\": [").unwrap();
+        for (i, cell) in self.cells.iter().enumerate() {
+            let comma = if i + 1 < self.cells.len() { "," } else { "" };
+            writeln!(
+                out,
+                "    {{\"index\": {}, \"stem\": \"{}\"}}{comma}",
+                cell.index,
+                json_escape(&cell.stem)
+            )
+            .unwrap();
+        }
+        writeln!(out, "  ]").unwrap();
+        writeln!(out, "}}").unwrap();
+        out
+    }
+
+    /// Parses a manifest previously written by [`Self::to_json`].
+    pub fn from_json(doc: &str) -> Result<Self, MergeError> {
+        let json = json::parse(doc).map_err(|e| MergeError::Manifest(e.to_string()))?;
+        let num = |j: &Json, key: &str| -> Result<u64, MergeError> {
+            j.get(key)
+                .and_then(Json::as_f64)
+                .map(|n| n as u64)
+                .ok_or_else(|| MergeError::Manifest(format!("missing number '{key}'")))
+        };
+        let format = num(&json, "format")?;
+        if format != MANIFEST_FORMAT {
+            return Err(MergeError::Manifest(format!(
+                "unsupported manifest format {format} (this build reads {MANIFEST_FORMAT})"
+            )));
+        }
+        let shard_obj = json
+            .get("shard")
+            .ok_or_else(|| MergeError::Manifest("missing 'shard'".into()))?;
+        let shard = Shard::new(
+            num(shard_obj, "index")? as usize,
+            num(shard_obj, "count")? as usize,
+        )
+        .map_err(|e| MergeError::Manifest(e.to_string()))?;
+        let str_list = |key: &str| -> Result<Vec<String>, MergeError> {
+            json.get(key)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| MergeError::Manifest(format!("missing array '{key}'")))?
+                .iter()
+                .map(|j| {
+                    j.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| MergeError::Manifest(format!("non-string in '{key}'")))
+                })
+                .collect()
+        };
+        let seeds = json
+            .get("seeds")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| MergeError::Manifest("missing array 'seeds'".into()))?
+            .iter()
+            .map(|j| {
+                j.as_f64()
+                    .map(|n| n as u64)
+                    .ok_or_else(|| MergeError::Manifest("non-number in 'seeds'".into()))
+            })
+            .collect::<Result<Vec<u64>, _>>()?;
+        let trace = match json.get("trace") {
+            Some(Json::Bool(b)) => *b,
+            _ => return Err(MergeError::Manifest("missing bool 'trace'".into())),
+        };
+        let cells = json
+            .get("cells")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| MergeError::Manifest("missing array 'cells'".into()))?
+            .iter()
+            .map(|j| {
+                Ok(ManifestCell {
+                    index: num(j, "index")? as usize,
+                    stem: j
+                        .get("stem")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| MergeError::Manifest("cell missing 'stem'".into()))?
+                        .to_string(),
+                })
+            })
+            .collect::<Result<Vec<_>, MergeError>>()?;
+        Ok(ShardManifest {
+            shard,
+            spec_hash: json
+                .get("spec_hash")
+                .and_then(Json::as_str)
+                .ok_or_else(|| MergeError::Manifest("missing 'spec_hash'".into()))?
+                .to_string(),
+            experiments: str_list("experiments")?,
+            seeds,
+            plans: str_list("plans")?
+                .into_iter()
+                .map(|p| if p == CLEAN { None } else { Some(p) })
+                .collect(),
+            trace,
+            total_cells: num(&json, "total_cells")? as usize,
+            cells,
+        })
+    }
+}
+
+/// Writes one shard's artifacts into `dir`: per-cell `<stem>.txt`
+/// reports (the exact [`crate::sweep::render_cell`] bytes), per-cell
+/// `<stem>.trace.json` when traced, and the [`MANIFEST_FILE`].
+/// `outputs` must be what [`crate::sweep::run_sweep_shard`] returned
+/// for the same `(spec, shard)`.
+pub fn write_shard_dir(
+    dir: &Path,
+    spec: &SweepSpec,
+    shard: Shard,
+    outputs: &[(usize, CellOutput)],
+) -> Result<(), MergeError> {
+    let io_err = |path: &Path, e: std::io::Error| {
+        MergeError::Io(format!("cannot write {}: {e}", path.display()))
+    };
+    std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+    for (_, out) in outputs {
+        let stem = out.cell.file_stem();
+        let txt = dir.join(format!("{stem}.txt"));
+        std::fs::write(&txt, crate::sweep::render_cell(out)).map_err(|e| io_err(&txt, e))?;
+        if let Some(trace) = &out.trace_json {
+            let path = dir.join(format!("{stem}.trace.json"));
+            std::fs::write(&path, trace).map_err(|e| io_err(&path, e))?;
+        }
+    }
+    let manifest =
+        ShardManifest::for_shard(spec, shard).map_err(|e| MergeError::Manifest(e.to_string()))?;
+    let path = dir.join(MANIFEST_FILE);
+    std::fs::write(&path, manifest.to_json()).map_err(|e| io_err(&path, e))?;
+    Ok(())
+}
+
+/// One cell of a validated merge plan: where its artifacts live.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergedCell {
+    /// Canonical index.
+    pub index: usize,
+    /// Artifact stem.
+    pub stem: String,
+    /// The shard directory owning the cell.
+    pub dir: PathBuf,
+}
+
+/// A validated merge: every cell accounted for exactly once, in
+/// canonical order.
+#[derive(Debug, Clone)]
+pub struct MergePlan {
+    /// Parsed manifests, one per input directory (input order).
+    pub manifests: Vec<ShardManifest>,
+    /// Every cell of the whole matrix, in canonical index order.
+    pub cells: Vec<MergedCell>,
+    /// Whether the shards recorded per-cell traces.
+    pub trace: bool,
+}
+
+/// Reads and cross-validates the manifests under `dirs`, returning the
+/// canonical-order merge plan. Enforces spec identity, disjointness,
+/// and completeness; does not yet read any cell file.
+pub fn plan_merge(dirs: &[PathBuf]) -> Result<MergePlan, MergeError> {
+    if dirs.is_empty() {
+        return Err(MergeError::Io("no shard directories given".into()));
+    }
+    let mut manifests = Vec::with_capacity(dirs.len());
+    for dir in dirs {
+        let path = dir.join(MANIFEST_FILE);
+        let doc = std::fs::read_to_string(&path)
+            .map_err(|e| MergeError::Io(format!("cannot read {}: {e}", path.display())))?;
+        let manifest = ShardManifest::from_json(&doc)
+            .map_err(|e| MergeError::Manifest(format!("{}: {e}", path.display())))?;
+        manifests.push(manifest);
+    }
+
+    let first = &manifests[0];
+    for (dir, m) in dirs.iter().zip(&manifests).skip(1) {
+        let mismatch = |field: &str| {
+            MergeError::SpecMismatch(format!(
+                "{} and {} disagree on {field}",
+                dirs[0].display(),
+                dir.display()
+            ))
+        };
+        if m.spec_hash != first.spec_hash {
+            return Err(mismatch("spec_hash"));
+        }
+        // The hash should already catch all of these; the structural
+        // checks keep a collision (or a hand-edited manifest) honest.
+        if m.experiments != first.experiments {
+            return Err(mismatch("experiments"));
+        }
+        if m.seeds != first.seeds {
+            return Err(mismatch("seeds"));
+        }
+        if m.plans != first.plans {
+            return Err(mismatch("plans"));
+        }
+        if m.trace != first.trace {
+            return Err(mismatch("trace"));
+        }
+        if m.total_cells != first.total_cells {
+            return Err(mismatch("total_cells"));
+        }
+    }
+
+    let total = first.total_cells;
+    let mut owner: Vec<Option<usize>> = vec![None; total];
+    let mut cells: Vec<Option<MergedCell>> = vec![None; total];
+    for (d, (dir, m)) in dirs.iter().zip(&manifests).enumerate() {
+        for cell in &m.cells {
+            if cell.index >= total {
+                return Err(MergeError::Manifest(format!(
+                    "{}: cell index {} out of range (total_cells {total})",
+                    dir.display(),
+                    cell.index
+                )));
+            }
+            if let Some(prev) = owner[cell.index] {
+                return Err(MergeError::Overlap {
+                    index: cell.index,
+                    dirs: (dirs[prev].display().to_string(), dir.display().to_string()),
+                });
+            }
+            owner[cell.index] = Some(d);
+            cells[cell.index] = Some(MergedCell {
+                index: cell.index,
+                stem: cell.stem.clone(),
+                dir: dir.clone(),
+            });
+        }
+    }
+    let missing: Vec<usize> = cells
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.is_none())
+        .map(|(i, _)| i)
+        .collect();
+    if let Some(&firstmiss) = missing.first() {
+        return Err(MergeError::Missing {
+            count: missing.len(),
+            first: firstmiss,
+        });
+    }
+    Ok(MergePlan {
+        trace: first.trace,
+        manifests,
+        cells: cells.into_iter().map(|c| c.expect("checked")).collect(),
+    })
+}
+
+impl MergePlan {
+    /// Reads one cell's report bytes.
+    pub fn read_report(&self, cell: &MergedCell) -> Result<String, MergeError> {
+        let path = cell.dir.join(format!("{}.txt", cell.stem));
+        std::fs::read_to_string(&path)
+            .map_err(|e| MergeError::Io(format!("cannot read {}: {e}", path.display())))
+    }
+
+    /// Concatenates every cell report in canonical order — byte-equal
+    /// to the serial `repro sweep --jobs 1` stdout for the same spec.
+    pub fn concat_reports(&self) -> Result<String, MergeError> {
+        let mut out = String::new();
+        for cell in &self.cells {
+            out.push_str(&self.read_report(cell)?);
+        }
+        Ok(out)
+    }
+
+    /// Copies every cell's artifacts into `out_dir`, reproducing the
+    /// serial run's `--out` directory (reports plus traces when the
+    /// shards recorded them; no manifest).
+    pub fn write_combined(&self, out_dir: &Path) -> Result<(), MergeError> {
+        std::fs::create_dir_all(out_dir)
+            .map_err(|e| MergeError::Io(format!("cannot create {}: {e}", out_dir.display())))?;
+        for cell in &self.cells {
+            for suffix in std::iter::once(".txt").chain(self.trace.then_some(".trace.json")) {
+                let src = cell.dir.join(format!("{}{suffix}", cell.stem));
+                let dst = out_dir.join(format!("{}{suffix}", cell.stem));
+                std::fs::copy(&src, &dst).map_err(|e| {
+                    MergeError::Io(format!(
+                        "cannot copy {} -> {}: {e}",
+                        src.display(),
+                        dst.display()
+                    ))
+                })?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SweepSpec {
+        SweepSpec {
+            experiments: vec!["table1".into(), "iobond".into()],
+            seeds: vec![1, 2],
+            plans: vec![None, Some("link-flap".into())],
+            trace: false,
+            jobs: 1,
+        }
+    }
+
+    #[test]
+    fn spec_hash_is_stable_and_field_sensitive() {
+        let a = spec_hash(&spec());
+        assert_eq!(a, spec_hash(&spec()), "hash must be deterministic");
+        assert_eq!(a.len(), 16);
+        let mut jobs = spec();
+        jobs.jobs = 8;
+        assert_eq!(a, spec_hash(&jobs), "jobs must not affect the hash");
+        let mut seeds = spec();
+        seeds.seeds = vec![1, 3];
+        assert_ne!(a, spec_hash(&seeds));
+        let mut trace = spec();
+        trace.trace = true;
+        assert_ne!(a, spec_hash(&trace));
+        let mut plans = spec();
+        plans.plans = vec![None];
+        assert_ne!(a, spec_hash(&plans));
+    }
+
+    #[test]
+    fn manifest_json_round_trips() {
+        let manifest = ShardManifest::for_shard(&spec(), Shard::new(1, 3).unwrap()).unwrap();
+        let parsed = ShardManifest::from_json(&manifest.to_json()).unwrap();
+        assert_eq!(parsed, manifest);
+        assert_eq!(parsed.total_cells, 8);
+        assert!(parsed.cells.iter().all(|c| c.index % 3 == 1));
+    }
+
+    #[test]
+    fn unsupported_format_is_rejected() {
+        let manifest = ShardManifest::for_shard(&spec(), Shard::WHOLE).unwrap();
+        let doc = manifest
+            .to_json()
+            .replace("\"format\": 1", "\"format\": 99");
+        assert!(matches!(
+            ShardManifest::from_json(&doc),
+            Err(MergeError::Manifest(_))
+        ));
+    }
+}

@@ -67,6 +67,20 @@ impl SweepSpec {
         }
     }
 
+    /// Expands the spec into the cells a shard owns, each paired with
+    /// its canonical (global) index, in deterministic order.
+    pub fn shard_cells(&self, shard: Shard) -> Result<Vec<(usize, SweepCell)>, SweepError> {
+        // Re-validate even pre-built Shard values so a hand-rolled
+        // struct update cannot smuggle in an empty split.
+        let shard = Shard::new(shard.index, shard.count)?;
+        Ok(self
+            .cells()?
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| shard.covers(*i))
+            .collect())
+    }
+
     /// Expands the spec into its cells, in deterministic order
     /// (experiment-major, then seed, then plan), validating every
     /// experiment id up front.
@@ -90,6 +104,65 @@ impl SweepSpec {
             }
         }
         Ok(cells)
+    }
+}
+
+/// A shard selector over the canonical cell order: shard `index` of
+/// `count` owns exactly the cells whose canonical index is congruent
+/// to `index` modulo `count`.
+///
+/// Striding (rather than contiguous ranges) keeps every shard's load
+/// balanced across the experiment axis — cell cost varies by orders of
+/// magnitude between `table1` and `fig1` — and makes coverage checks
+/// trivial: any set of shards merges completely iff the union of their
+/// cell indices is exactly `0..total`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    index: usize,
+    count: usize,
+}
+
+impl Shard {
+    /// The degenerate single-shard split covering every cell.
+    pub const WHOLE: Shard = Shard { index: 0, count: 1 };
+
+    /// Shard `index` of `count`. Requires `count > 0` and
+    /// `index < count`.
+    pub fn new(index: usize, count: usize) -> Result<Shard, SweepError> {
+        if count == 0 || index >= count {
+            return Err(SweepError::InvalidShard { index, count });
+        }
+        Ok(Shard { index, count })
+    }
+
+    /// Parses the CLI form `I/N`, e.g. `0/3`.
+    pub fn parse(s: &str) -> Result<Shard, SweepError> {
+        let invalid = || SweepError::InvalidShardSyntax(s.to_string());
+        let (index, count) = s.split_once('/').ok_or_else(invalid)?;
+        let index: usize = index.trim().parse().map_err(|_| invalid())?;
+        let count: usize = count.trim().parse().map_err(|_| invalid())?;
+        Shard::new(index, count)
+    }
+
+    /// This shard's position.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Total shards in the split.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Whether this shard owns the cell at canonical index `i`.
+    pub fn covers(&self, i: usize) -> bool {
+        i % self.count == self.index
+    }
+}
+
+impl fmt::Display for Shard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
     }
 }
 
@@ -156,6 +229,15 @@ pub enum SweepError {
     UnknownExperiment(String),
     /// A plan that is neither canned nor a parseable JSON file.
     UnknownPlan(String),
+    /// A shard selector with `count == 0` or `index >= count`.
+    InvalidShard {
+        /// The requested shard index.
+        index: usize,
+        /// The requested shard count.
+        count: usize,
+    },
+    /// A shard argument that is not of the form `I/N`.
+    InvalidShardSyntax(String),
 }
 
 impl fmt::Display for SweepError {
@@ -167,6 +249,16 @@ impl fmt::Display for SweepError {
                 crate::EXPERIMENT_IDS.join(", ")
             ),
             SweepError::UnknownPlan(msg) => write!(f, "{msg}"),
+            SweepError::InvalidShard { index, count } => write!(
+                f,
+                "invalid shard {index}/{count}: need count > 0 and index < count"
+            ),
+            SweepError::InvalidShardSyntax(arg) => {
+                write!(
+                    f,
+                    "invalid shard '{arg}': expected I/N with I < N, e.g. 0/3"
+                )
+            }
         }
     }
 }
@@ -232,14 +324,29 @@ pub fn run_cell(cell: &SweepCell, plan: Option<&faults::FaultPlan>, trace: bool)
 /// Runs the whole sweep, returning one output per cell in the
 /// deterministic cell order regardless of `spec.jobs`.
 pub fn run_sweep(spec: &SweepSpec) -> Result<Vec<CellOutput>, SweepError> {
-    let cells = spec.cells()?;
+    Ok(run_sweep_shard(spec, Shard::WHOLE)?
+        .into_iter()
+        .map(|(_, out)| out)
+        .collect())
+}
+
+/// Runs one shard of the sweep: only the cells the shard owns, each
+/// returned with its canonical index, in canonical order regardless of
+/// `spec.jobs`. Each cell's bytes are identical to what the same cell
+/// produces in a whole-matrix run — cells are self-contained, so the
+/// partition axis is invisible to them.
+pub fn run_sweep_shard(
+    spec: &SweepSpec,
+    shard: Shard,
+) -> Result<Vec<(usize, CellOutput)>, SweepError> {
+    let cells = spec.shard_cells(shard)?;
     // Resolve each distinct plan once (a JSON-file plan would
     // otherwise be re-read and re-parsed per cell).
-    let mut plans: BTreeMap<&str, faults::FaultPlan> = BTreeMap::new();
-    for cell in &cells {
+    let mut plans: BTreeMap<String, faults::FaultPlan> = BTreeMap::new();
+    for (_, cell) in &cells {
         if let Some(name) = cell.plan.as_deref() {
             if !plans.contains_key(name) {
-                plans.insert(name, resolve_plan(name)?);
+                plans.insert(name.to_string(), resolve_plan(name)?);
             }
         }
     }
@@ -249,7 +356,7 @@ pub fn run_sweep(spec: &SweepSpec) -> Result<Vec<CellOutput>, SweepError> {
     if jobs <= 1 {
         return Ok(cells
             .iter()
-            .map(|cell| run_cell(cell, plan_for(cell), spec.trace))
+            .map(|(i, cell)| (*i, run_cell(cell, plan_for(cell), spec.trace)))
             .collect());
     }
 
@@ -259,18 +366,21 @@ pub fn run_sweep(spec: &SweepSpec) -> Result<Vec<CellOutput>, SweepError> {
         for _ in 0..jobs {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(cell) = cells.get(i) else { break };
+                let Some((_, cell)) = cells.get(i) else { break };
                 let out = run_cell(cell, plan_for(cell), spec.trace);
                 *slots[i].lock().expect("slot poisoned") = Some(out);
             });
         }
     });
-    Ok(slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
+    Ok(cells
+        .iter()
+        .zip(slots)
+        .map(|((i, _), slot)| {
+            let out = slot
+                .into_inner()
                 .expect("slot poisoned")
-                .expect("every cell index below len was claimed and ran")
+                .expect("every cell index below len was claimed and ran");
+            (*i, out)
         })
         .collect())
 }
@@ -367,6 +477,59 @@ mod tests {
         let text = render_cell(injected);
         assert!(text.starts_with(&format!("======== {} ========\n", injected.cell.label())));
         assert!(text.contains("-------- fault stats --------\n"));
+    }
+
+    #[test]
+    fn shard_parse_accepts_valid_and_rejects_invalid() {
+        assert_eq!(Shard::parse("0/3").unwrap(), Shard::new(0, 3).unwrap());
+        assert_eq!(Shard::parse("2/3").unwrap().to_string(), "2/3");
+        for bad in ["3/3", "4/3", "0/0", "1", "a/b", "-1/3", "1/", "/3"] {
+            assert!(Shard::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn shards_partition_cells_disjointly_and_completely() {
+        let spec = tiny_spec(1, false);
+        let all = spec.cells().unwrap();
+        for n in [1usize, 2, 3, 5] {
+            let mut seen = vec![0u32; all.len()];
+            for i in 0..n {
+                for (idx, cell) in spec.shard_cells(Shard::new(i, n).unwrap()).unwrap() {
+                    assert_eq!(idx % n, i, "cell {idx} in wrong shard {i}/{n}");
+                    assert_eq!(cell, all[idx], "cell {idx} out of canonical order");
+                    seen[idx] += 1;
+                }
+            }
+            assert!(
+                seen.iter().all(|&c| c == 1),
+                "split {n}: coverage {seen:?} is not a partition"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_cells_are_byte_identical_to_their_whole_run_twins() {
+        let spec = tiny_spec(2, true);
+        let whole = run_sweep(&spec).unwrap();
+        for i in 0..3 {
+            for (idx, out) in run_sweep_shard(&spec, Shard::new(i, 3).unwrap()).unwrap() {
+                let twin = &whole[idx];
+                assert_eq!(out.cell, twin.cell);
+                assert_eq!(out.report, twin.report, "{}", out.cell.label());
+                assert_eq!(out.fault_stats, twin.fault_stats);
+                assert_eq!(out.trace_json, twin.trace_json);
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_shard_is_rejected() {
+        let spec = tiny_spec(1, false);
+        assert!(matches!(
+            spec.shard_cells(Shard { index: 5, count: 3 }),
+            Err(SweepError::InvalidShard { index: 5, count: 3 })
+        ));
     }
 
     #[test]

@@ -7,42 +7,102 @@
 //! calibrated populations in [`bmhive_cpu::virt`] and runs the *same
 //! census/percentile pipeline* the paper describes over the synthetic
 //! fleet.
+//!
+//! The fleet is a *stream*, not a materialized population:
+//! [`ExitRateStream`] generates guests lazily and [`ExitCensus`] folds
+//! them into threshold counters plus one float-bit histogram, so a
+//! million-guest census costs the same memory as a ten-thousand-guest
+//! one (the `fleet_scale` experiment gates on exactly this).
+//! [`PreemptionStudy::run`] keeps the materialized + quickselect exact
+//! path as the reference; [`PreemptionStudy::stream`] is its O(1)-memory
+//! twin over the identical RNG draws.
 
-use bmhive_cpu::virt::{diurnal_load, ExitRatePopulation, PreemptionModel};
+use bmhive_cpu::virt::{diurnal_load, ExitRatePopulation, PreemptionModel, PreemptionSampler};
 use bmhive_sim::stats::exact_percentile;
-use bmhive_sim::SimRng;
+use bmhive_sim::{Histogram, SimRng};
 use bmhive_telemetry as telemetry;
 
+/// A deterministic stream of per-VM exit rates (exits/s/vCPU), drawn
+/// lazily from the production population.
+///
+/// This is the fleet as a *generator* rather than a materialized
+/// population: guest number `k` of seed `s` always gets the same rate,
+/// whether the consumer censuses ten thousand guests or ten million,
+/// and no per-guest state survives the draw. Everything downstream
+/// ([`ExitCensus`], the `fleet_scale` experiment) folds the stream
+/// into O(1) accumulators.
+#[derive(Debug, Clone)]
+pub struct ExitRateStream {
+    pop: ExitRatePopulation,
+    rng: SimRng,
+}
+
+impl ExitRateStream {
+    /// The production population, seeded; the first `n` draws match
+    /// the first `n` draws of any other stream with the same seed.
+    pub fn production(seed: u64) -> Self {
+        ExitRateStream {
+            pop: ExitRatePopulation::production(),
+            rng: SimRng::with_stream(seed, 0xce15),
+        }
+    }
+}
+
+impl Iterator for ExitRateStream {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        Some(self.pop.sample(&mut self.rng))
+    }
+}
+
 /// The Table 2 census: what fraction of VMs exceed each exit-rate
-/// threshold.
+/// threshold, plus the exit-rate distribution itself.
+///
+/// Built by *observing* a stream one rate at a time — the state is a
+/// handful of counters and one float-bit [`Histogram`], so the memory
+/// footprint is independent of how many guests flow through.
 #[derive(Debug, Clone)]
 pub struct ExitCensus {
     thresholds: Vec<f64>,
     counts: Vec<u64>,
+    rates: Histogram,
     total: u64,
 }
 
 impl ExitCensus {
-    /// Runs a census of `vms` VMs against `thresholds` (exits/s/vCPU),
-    /// sampling each VM's rate from the production population.
-    pub fn run(vms: u64, thresholds: &[f64], seed: u64) -> Self {
-        let pop = ExitRatePopulation::production();
-        let mut rng = SimRng::with_stream(seed, 0xce15);
-        let mut counts = vec![0u64; thresholds.len()];
-        for _ in 0..vms {
-            let rate = pop.sample(&mut rng);
-            for (i, &t) in thresholds.iter().enumerate() {
-                if rate > t {
-                    counts[i] += 1;
-                }
-            }
-        }
-        telemetry::add_events(vms);
+    /// An empty census over `thresholds` (exits/s/vCPU), ready to
+    /// observe guests.
+    pub fn new(thresholds: &[f64]) -> Self {
         ExitCensus {
             thresholds: thresholds.to_vec(),
-            counts,
-            total: vms,
+            counts: vec![0u64; thresholds.len()],
+            rates: Histogram::new(),
+            total: 0,
         }
+    }
+
+    /// Folds one guest's exit rate into the census.
+    pub fn observe(&mut self, rate: f64) {
+        for (i, &t) in self.thresholds.iter().enumerate() {
+            if rate > t {
+                self.counts[i] += 1;
+            }
+        }
+        self.rates.record(rate);
+        self.total += 1;
+    }
+
+    /// Runs a census of `vms` VMs against `thresholds`, piping the
+    /// seeded production stream through [`Self::observe`].
+    pub fn run(vms: u64, thresholds: &[f64], seed: u64) -> Self {
+        let mut census = ExitCensus::new(thresholds);
+        for rate in ExitRateStream::production(seed).take(vms as usize) {
+            census.observe(rate);
+        }
+        telemetry::add_events(vms);
+        telemetry::counter("fleet.guests_censused", vms);
+        census
     }
 
     /// `(threshold, percent of VMs above it)` rows, as Table 2 prints.
@@ -57,6 +117,17 @@ impl ExitCensus {
     /// VMs in the census.
     pub fn total(&self) -> u64 {
         self.total
+    }
+
+    /// A percentile of the observed exit-rate distribution, from the
+    /// streaming histogram (bucket-midpoint resolution, ~±3%).
+    pub fn rate_percentile(&self, p: f64) -> f64 {
+        self.rates.percentile(p)
+    }
+
+    /// Mean observed exit rate.
+    pub fn rate_mean(&self) -> f64 {
+        self.rates.mean()
     }
 }
 
@@ -75,6 +146,13 @@ pub struct PreemptionStudy {
     /// Exclusive VMs, 99.9th percentile preemption %, per hour.
     pub exclusive_p999: Vec<f64>,
 }
+
+/// Power-of-two scale applied to percent values before they enter the
+/// streaming [`Histogram`], so sub-1% preemption rates (the exclusive
+/// population) land in octaves with full 16-sub-bucket resolution
+/// instead of the single sub-1.0 bucket. Multiplying by a power of two
+/// only shifts the float exponent, so the scaling is exact.
+const STREAM_PCT_SCALE: f64 = 1024.0;
 
 impl PreemptionStudy {
     /// Records `vms` shared and `vms` exclusive VMs for 24 hours and
@@ -105,6 +183,51 @@ impl PreemptionStudy {
             out.shared_p999.push(exact_percentile(&s, 99.9));
             out.exclusive_p99.push(exact_percentile(&e, 99.0));
             out.exclusive_p999.push(exact_percentile(&e, 99.9));
+        }
+        telemetry::add_events(2 * vms as u64 * 24);
+        out
+    }
+
+    /// The streaming twin of [`Self::run`]: identical RNG draws, but
+    /// each hour's population flows through a float-bit [`Histogram`]
+    /// instead of being materialized for quickselect, so the memory
+    /// footprint is one histogram (16 KiB) regardless of `vms`.
+    /// Percentiles come back at bucket-midpoint resolution (~±3%);
+    /// [`Self::run`] remains the exact reference for cross-checks at
+    /// materializable scales.
+    ///
+    /// Deliberately allocation-quiet beyond its accumulators (no
+    /// telemetry registry writes mid-stream), so callers can meter its
+    /// peak allocation deterministically.
+    pub fn stream(vms: usize, seed: u64) -> Self {
+        let shared = PreemptionModel::shared().sampler();
+        let exclusive = PreemptionModel::exclusive().sampler();
+        let mut rng = SimRng::with_stream(seed, 0xf161);
+        let mut out = PreemptionStudy {
+            hours: (0..24).collect(),
+            shared_p99: Vec::with_capacity(24),
+            shared_p999: Vec::with_capacity(24),
+            exclusive_p99: Vec::with_capacity(24),
+            exclusive_p999: Vec::with_capacity(24),
+        };
+        let series = |sampler: &PreemptionSampler, rng: &mut SimRng, load: f64| {
+            let mut hist = Histogram::new();
+            for _ in 0..vms {
+                hist.record(sampler.sample_at_load(rng, load) * 100.0 * STREAM_PCT_SCALE);
+            }
+            (
+                hist.percentile(99.0) / STREAM_PCT_SCALE,
+                hist.percentile(99.9) / STREAM_PCT_SCALE,
+            )
+        };
+        for hour in 0..24 {
+            let load = diurnal_load(hour);
+            let (p99, p999) = series(&shared, &mut rng, load);
+            out.shared_p99.push(p99);
+            out.shared_p999.push(p999);
+            let (p99, p999) = series(&exclusive, &mut rng, load);
+            out.exclusive_p99.push(p99);
+            out.exclusive_p999.push(p999);
         }
         telemetry::add_events(2 * vms as u64 * 24);
         out
@@ -163,6 +286,81 @@ mod tests {
             assert!(study.shared_p999[h] >= study.shared_p99[h]);
             assert!(study.shared_p99[h] > study.exclusive_p99[h]);
         }
+    }
+
+    #[test]
+    fn stream_census_equals_a_materialized_fold() {
+        // The census is a pure fold of the rate stream: draining the
+        // stream into a Vec first and folding that must give the same
+        // counts bit-for-bit.
+        let thresholds = [10_000.0, 50_000.0, 100_000.0];
+        let materialized: Vec<f64> = ExitRateStream::production(3).take(5_000).collect();
+        let mut by_hand = ExitCensus::new(&thresholds);
+        for &rate in &materialized {
+            by_hand.observe(rate);
+        }
+        let streamed = ExitCensus::run(5_000, &thresholds, 3);
+        assert_eq!(by_hand.rows(), streamed.rows());
+        assert_eq!(by_hand.total(), streamed.total());
+        assert_eq!(
+            by_hand.rate_percentile(99.0),
+            streamed.rate_percentile(99.0)
+        );
+    }
+
+    #[test]
+    fn census_rate_percentiles_track_quickselect() {
+        let rates: Vec<f64> = ExitRateStream::production(1).take(20_000).collect();
+        let census = ExitCensus::run(20_000, &[10_000.0], 1);
+        for p in [50.0, 99.0, 99.9] {
+            let exact = exact_percentile(&rates, p);
+            let streamed = census.rate_percentile(p);
+            let err = (streamed - exact).abs() / exact;
+            assert!(
+                err < 0.05,
+                "p{p}: streamed {streamed} vs exact {exact} (err {err:.3})"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_study_tracks_the_exact_study() {
+        let exact = PreemptionStudy::run(10_000, 4);
+        let streamed = PreemptionStudy::stream(10_000, 4);
+        for h in 0..24 {
+            for (name, a, b) in [
+                ("shared p99", exact.shared_p99[h], streamed.shared_p99[h]),
+                (
+                    "shared p99.9",
+                    exact.shared_p999[h],
+                    streamed.shared_p999[h],
+                ),
+                (
+                    "exclusive p99",
+                    exact.exclusive_p99[h],
+                    streamed.exclusive_p99[h],
+                ),
+                (
+                    "exclusive p99.9",
+                    exact.exclusive_p999[h],
+                    streamed.exclusive_p999[h],
+                ),
+            ] {
+                let err = (b - a).abs() / a;
+                assert!(
+                    err < 0.08,
+                    "hour {h} {name}: exact {a} vs streamed {b} (err {err:.3})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_study_is_deterministic_per_seed() {
+        let a = PreemptionStudy::stream(2_000, 9);
+        let b = PreemptionStudy::stream(2_000, 9);
+        assert_eq!(a.shared_p99, b.shared_p99);
+        assert_eq!(a.exclusive_p999, b.exclusive_p999);
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   double-count-free self times.
 //! * [`export`] — Chrome `trace_event` JSON (loadable in
 //!   `chrome://tracing`), JSONL, and plain-text reports.
+//! * [`alloc`] — an opt-in counting global allocator with thread-local
+//!   live/peak byte counters, the peak-RSS proxy behind the streaming
+//!   fleet census's O(1)-memory gate.
 //!
 //! # The thread-local collector
 //!
@@ -54,6 +57,7 @@
 //! telemetry::set_enabled(false);
 //! ```
 
+pub mod alloc;
 pub mod export;
 pub mod registry;
 pub mod report;

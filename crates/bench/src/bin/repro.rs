@@ -519,16 +519,17 @@ fn bench_main(args: &[String]) -> ExitCode {
     };
 
     println!(
-        "{:<10} | {:>12} | {:>10} | {:>14} | {:>10}",
-        "experiment", "wall ms", "events", "events/sec", "peak depth"
+        "{:<10} | {:>12} | {:>10} | {:>14} | {:>12} | {:>10}",
+        "experiment", "wall ms", "events", "events/sec", "allocs/ev", "peak depth"
     );
     for r in &report.results {
         println!(
-            "{:<10} | {:>12.3} | {:>10} | {:>14.0} | {:>10.1}",
+            "{:<10} | {:>12.3} | {:>10} | {:>14.0} | {:>12.4} | {:>10.1}",
             r.experiment,
             r.wall_ns as f64 / 1e6,
             r.events,
             r.events_per_sec,
+            r.allocs_per_event,
             r.peak_queue_depth
         );
     }
@@ -696,7 +697,8 @@ fn print_bench_help() {
     println!(
         "                  normalized by the total-time ratio first, so a uniformly faster or"
     );
-    println!("                  slower machine does not trip the check");
+    println!("                  slower machine does not trip the check; events/sec and the");
+    println!("                  deterministic allocs/event count are gated the same way");
     println!("  --compare-out FILE  write a before/after table vs the --check baseline");
     println!(
         "  --tolerance F   allowed per-experiment slowdown after normalization (default 0.25)"

@@ -3,10 +3,12 @@
 //! Where [`crate::sweep`] cares about *what* the experiments print,
 //! this module cares about *how fast* they run on the host. Each
 //! experiment is timed over `repeats` untraced runs (taking the
-//! minimum, the standard noise filter for wall-clock microbenchmarks)
-//! plus one traced run that counts telemetry spans and reads the
-//! peak I/O queue depth gauge — the three numbers the benchmark
-//! trajectory tracks: wall time, events/sec, peak queue depth.
+//! minimum, the standard noise filter for wall-clock microbenchmarks),
+//! one warmed untraced run metered for allocation count by the
+//! counting `#[global_allocator]`, plus one traced run that counts
+//! telemetry spans and reads the peak I/O queue depth gauge — the
+//! numbers the benchmark trajectory tracks: wall time, events/sec,
+//! allocs/event, peak queue depth.
 //!
 //! Reports serialize to a stable JSON document (`BENCH_results.json`)
 //! and compare against a checked-in baseline. Because absolute wall
@@ -35,6 +37,16 @@ pub struct ExperimentBench {
     /// Peak `iobond.peak_inflight` gauge during the traced run (0 for
     /// experiments that never touch a shadow queue).
     pub peak_queue_depth: f64,
+    /// Heap allocations during one warmed, untraced run, metered by
+    /// the counting `#[global_allocator]` (0 when none is installed,
+    /// e.g. under plain `cargo test`). The run happens after the
+    /// timing repeats, so process-wide one-time initialization is
+    /// already paid and the count reflects the experiment body.
+    pub allocs: u64,
+    /// `allocs` divided by `events`: the steady-state allocation rate
+    /// the regression gate tracks. Deterministic per binary + seed —
+    /// unlike wall time it needs no machine-speed normalization.
+    pub allocs_per_event: f64,
 }
 
 /// A full benchmark run.
@@ -74,6 +86,14 @@ pub fn run_bench(experiments: &[String], seed: u64, repeats: u32) -> Result<Benc
             let elapsed = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
             wall_ns = wall_ns.min(elapsed);
         }
+        // One more untraced run, now warm, metered for allocation
+        // count. Untraced so the collector's own buffers don't pollute
+        // the tally; after the timing repeats so lazy one-time costs
+        // (interning tables, thread-locals) are excluded and the
+        // number reflects steady state.
+        let (_, allocs) = telemetry::alloc::measure_allocs(|| {
+            crate::run_experiment(id, seed).expect("validated")
+        });
         // One traced run for the deterministic counters.
         telemetry::set_enabled(true);
         telemetry::reset();
@@ -93,6 +113,12 @@ pub fn run_bench(experiments: &[String], seed: u64, repeats: u32) -> Result<Benc
             events,
             events_per_sec,
             peak_queue_depth: snap.registry.gauge("iobond.peak_inflight").unwrap_or(0.0),
+            allocs,
+            allocs_per_event: if events > 0 {
+                allocs as f64 / events as f64
+            } else {
+                0.0
+            },
         });
     }
     Ok(BenchReport {
@@ -121,12 +147,15 @@ impl BenchReport {
             writeln!(
                 out,
                 "    {{\"experiment\": \"{}\", \"wall_ns\": {}, \"events\": {}, \
-                 \"events_per_sec\": {:.1}, \"peak_queue_depth\": {:.1}}}{comma}",
+                 \"events_per_sec\": {:.1}, \"peak_queue_depth\": {:.1}, \
+                 \"allocs\": {}, \"allocs_per_event\": {:.4}}}{comma}",
                 telemetry::export::json_escape(&r.experiment),
                 r.wall_ns,
                 r.events,
                 r.events_per_sec,
                 r.peak_queue_depth,
+                r.allocs,
+                r.allocs_per_event,
             )
             .unwrap();
         }
@@ -159,6 +188,13 @@ impl BenchReport {
                 events: num(entry, "events")? as u64,
                 events_per_sec: num(entry, "events_per_sec")?,
                 peak_queue_depth: num(entry, "peak_queue_depth")?,
+                // Absent in pre-gate baselines: default to unmetered,
+                // which disables the allocation gate for that entry.
+                allocs: entry.get("allocs").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+                allocs_per_event: entry
+                    .get("allocs_per_event")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0),
             });
         }
         Ok(BenchReport {
@@ -184,6 +220,13 @@ impl BenchReport {
     /// Absolute jitter allowance added on top of the relative
     /// tolerance (1 ms).
     pub const ABS_SLACK_NS: f64 = 1_000_000.0;
+
+    /// Absolute allocation-count slack for the allocs/event gate: up
+    /// to this many allocations over a whole run are forgiven
+    /// regardless of the per-event ratio, so experiments with a
+    /// handful of events don't trip the gate on one extra report
+    /// string.
+    pub const ABS_SLACK_ALLOCS: f64 = 64.0;
 
     pub fn check_against(&self, baseline: &BenchReport, tolerance: f64) -> Vec<String> {
         let mut problems = Vec::new();
@@ -224,7 +267,11 @@ impl BenchReport {
                     base.wall_ns as f64 / 1e6,
                     scale,
                 ));
-            } else if base.events > 0 && base.events_per_sec > 0.0 {
+            } else if base.events > 0
+                && base.events_per_sec > 0.0
+                && cur.events_per_sec * (1.0 + tolerance) < base.events_per_sec / scale
+                && cur.wall_ns as f64 > Self::ABS_SLACK_NS
+            {
                 // Throughput gate for experiments with a nonzero event
                 // tally: events/sec must stay within `tolerance` of the
                 // machine-scale-normalized baseline. This catches runs
@@ -233,20 +280,40 @@ impl BenchReport {
                 // slack rationale applies here too: microsecond-scale
                 // experiments jitter past any relative bound, so the
                 // gate only covers runs longer than the slack.
-                let expected_eps = base.events_per_sec / scale;
-                if cur.events_per_sec * (1.0 + tolerance) < expected_eps
-                    && cur.wall_ns as f64 > Self::ABS_SLACK_NS
-                {
-                    problems.push(format!(
-                        "{}: events/sec {:.0} regressed more than {:.0}% below the scaled \
-                         baseline {:.0} (machine scale {:.2}x)",
-                        base.experiment,
-                        cur.events_per_sec,
-                        tolerance * 100.0,
-                        expected_eps,
-                        scale,
-                    ));
-                }
+                problems.push(format!(
+                    "{}: events/sec {:.0} regressed more than {:.0}% below the scaled \
+                     baseline {:.0} (machine scale {:.2}x)",
+                    base.experiment,
+                    cur.events_per_sec,
+                    tolerance * 100.0,
+                    base.events_per_sec / scale,
+                    scale,
+                ));
+            } else if base.allocs_per_event > 0.0
+                && cur.allocs > 0
+                && cur.allocs_per_event
+                    > base.allocs_per_event * (1.0 + tolerance)
+                        + Self::ABS_SLACK_ALLOCS / cur.events.max(1) as f64
+            {
+                // Allocation gate: allocs/event is already normalized
+                // by experiment scale (per event) and — being a
+                // deterministic count, not a time — needs no machine-
+                // speed scaling. `cur.allocs > 0` keeps the gate
+                // honest when no counting allocator is installed
+                // (plain `cargo test` binaries read dead counters);
+                // the absolute slack forgives a few stray allocations
+                // in microscopic experiments where one report string
+                // would otherwise dominate the ratio.
+                problems.push(format!(
+                    "{}: allocs/event {:.4} regressed more than {:.0}% above the baseline {:.4} \
+                     ({} allocs over {} events)",
+                    base.experiment,
+                    cur.allocs_per_event,
+                    tolerance * 100.0,
+                    base.allocs_per_event,
+                    cur.allocs,
+                    cur.events,
+                ));
             }
         }
         problems
@@ -267,8 +334,17 @@ impl BenchReport {
         let mut out = String::new();
         writeln!(
             out,
-            "{:<10} | {:>11} | {:>11} | {:>8} | {:>13} | {:>13} | {:>8}",
-            "experiment", "base ms", "cur ms", "wall", "base ev/s", "cur ev/s", "ev/s"
+            "{:<10} | {:>11} | {:>11} | {:>8} | {:>13} | {:>13} | {:>8} | {:>10} | {:>10} | {:>8}",
+            "experiment",
+            "base ms",
+            "cur ms",
+            "wall",
+            "base ev/s",
+            "cur ev/s",
+            "ev/s",
+            "base a/ev",
+            "cur a/ev",
+            "a/ev"
         )
         .unwrap();
         for cur in &self.results {
@@ -279,7 +355,8 @@ impl BenchReport {
             {
                 Some(base) => writeln!(
                     out,
-                    "{:<10} | {:>11.3} | {:>11.3} | {:>8} | {:>13.0} | {:>13.0} | {:>8}",
+                    "{:<10} | {:>11.3} | {:>11.3} | {:>8} | {:>13.0} | {:>13.0} | {:>8} | \
+                     {:>10.4} | {:>10.4} | {:>8}",
                     cur.experiment,
                     base.wall_ns as f64 / 1e6,
                     cur.wall_ns as f64 / 1e6,
@@ -287,17 +364,24 @@ impl BenchReport {
                     base.events_per_sec,
                     cur.events_per_sec,
                     pct(base.events_per_sec, cur.events_per_sec),
+                    base.allocs_per_event,
+                    cur.allocs_per_event,
+                    pct(base.allocs_per_event, cur.allocs_per_event),
                 )
                 .unwrap(),
                 None => writeln!(
                     out,
-                    "{:<10} | {:>11} | {:>11.3} | {:>8} | {:>13} | {:>13.0} | {:>8}",
+                    "{:<10} | {:>11} | {:>11.3} | {:>8} | {:>13} | {:>13.0} | {:>8} | \
+                     {:>10} | {:>10.4} | {:>8}",
                     cur.experiment,
                     "-",
                     cur.wall_ns as f64 / 1e6,
                     "new",
                     "-",
                     cur.events_per_sec,
+                    "new",
+                    "-",
+                    cur.allocs_per_event,
                     "new",
                 )
                 .unwrap(),
@@ -332,6 +416,8 @@ mod tests {
                     events: 10,
                     events_per_sec: 10.0 / (wall_ns as f64 / 1e9),
                     peak_queue_depth: 4.0,
+                    allocs: 1000,
+                    allocs_per_event: 100.0,
                 })
                 .collect(),
         }
@@ -369,6 +455,28 @@ mod tests {
         assert_eq!(parsed.results[0].experiment, "table1");
         assert_eq!(parsed.results[0].wall_ns, report.results[0].wall_ns);
         assert_eq!(parsed.results[0].events, report.results[0].events);
+        assert_eq!(parsed.results[0].allocs, report.results[0].allocs);
+        assert!(
+            (parsed.results[0].allocs_per_event - report.results[0].allocs_per_event).abs() < 1e-4
+        );
+    }
+
+    #[test]
+    fn pre_gate_baseline_without_alloc_fields_still_parses() {
+        let doc = r#"{
+  "seed": 1,
+  "repeats": 3,
+  "total_wall_ns": 10,
+  "experiments": [
+    {"experiment": "a", "wall_ns": 10, "events": 10, "events_per_sec": 1.0, "peak_queue_depth": 0.0}
+  ]
+}"#;
+        let parsed = BenchReport::from_json(doc).unwrap();
+        assert_eq!(parsed.results[0].allocs, 0);
+        assert_eq!(parsed.results[0].allocs_per_event, 0.0);
+        // An unmetered baseline must not arm the alloc gate.
+        let current = report(&[("a", 10)]);
+        assert!(current.check_against(&parsed, 0.25).is_empty());
     }
 
     #[test]
@@ -403,6 +511,29 @@ mod tests {
         let problems = current.check_against(&baseline, 0.25);
         assert_eq!(problems.len(), 1, "{problems:?}");
         assert!(problems[0].contains("events/sec"), "{problems:?}");
+    }
+
+    #[test]
+    fn alloc_regression_is_flagged_when_wall_and_throughput_hold() {
+        let baseline = report(&[("a", 10_000_000)]);
+        let mut current = report(&[("a", 10_000_000)]);
+        // Same wall, same events, but twice the allocations per event:
+        // well past 25% tolerance + the 64-alloc slack over 10 events.
+        current.results[0].allocs = 2000;
+        current.results[0].allocs_per_event = 200.0;
+        let problems = current.check_against(&baseline, 0.25);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("allocs/event"), "{problems:?}");
+    }
+
+    #[test]
+    fn unmetered_run_skips_the_alloc_gate() {
+        let baseline = report(&[("a", 10_000_000)]);
+        let mut current = report(&[("a", 10_000_000)]);
+        // No counting allocator in this binary: counts read dead.
+        current.results[0].allocs = 0;
+        current.results[0].allocs_per_event = 0.0;
+        assert!(current.check_against(&baseline, 0.25).is_empty());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use bmhive_cloud::blockstore::{BlockStore, IoKind};
 use bmhive_cloud::limits::InstanceLimits;
 use bmhive_faults::{self as faults, FaultKind, FaultSite};
-use bmhive_iobond::{IoBondDevice, IoBondProfile, StagingPool};
+use bmhive_iobond::{IoBondDevice, IoBondProfile, ServiceReport, StagingPool};
 use bmhive_mem::{GuestAddr, GuestRam, SgSegment};
 use bmhive_net::{MacAddr, Packet, PacketKind};
 use bmhive_sim::{SimDuration, SimTime};
@@ -141,6 +141,10 @@ pub struct BmGuestSession {
     total_tx: u64,
     total_rx: u64,
     total_io: u64,
+    /// Reused service-pass report (steady-state passes allocate nothing).
+    svc_report: ServiceReport,
+    /// Reused hdr+payload assembly buffer for net frames.
+    frame_scratch: Vec<u8>,
 }
 
 /// Size of one posted rx buffer (hdr + MTU frame).
@@ -257,6 +261,8 @@ impl BmGuestSession {
             total_tx: 0,
             total_rx: 0,
             total_io: 0,
+            svc_report: ServiceReport::default(),
+            frame_scratch: Vec::new(),
         };
         session.replenish_rx().expect("initial rx buffers");
         session
@@ -398,12 +404,17 @@ impl BmGuestSession {
         let total = VIRTIO_NET_HDR_LEN + payload.len() as u64;
         let buf = self.tx_pool.alloc(total).ok_or(SessionError::NoBuffers)?;
         let hdr = VirtioNetHeader::simple();
-        // The buffer may span slots; scatter hdr+payload across it.
-        let mut bytes = hdr.to_bytes().to_vec();
+        // The buffer may span slots; scatter hdr+payload across it
+        // (assembled in the reused frame buffer).
+        let mut bytes = std::mem::take(&mut self.frame_scratch);
+        bytes.clear();
+        bytes.extend_from_slice(&hdr.to_bytes());
         bytes.extend_from_slice(payload);
         buf.scatter(&mut self.board, &bytes)?;
-        let segs: Vec<SgSegment> = buf.segments().to_vec();
-        let head = self.net_tx_driver.add_buf(&mut self.board, &segs, &[])?;
+        self.frame_scratch = bytes;
+        let head = self
+            .net_tx_driver
+            .add_buf(&mut self.board, buf.segments(), &[])?;
         self.tx_posted.insert(head, buf);
 
         // Kick: one PCI write across the guest link (fault-aware: a
@@ -412,10 +423,13 @@ impl BmGuestSession {
         self.net_dev.function_mut().state_mut(); // (doorbell recorded below through service)
 
         // IO-Bond syncs the chain into the shadow ring.
-        let report = self
-            .net_dev
-            .service(&mut self.board, &mut self.base, kicked)?;
-        let synced_at = report.tx[TX_Q].done_at;
+        self.net_dev.service_into(
+            &mut self.board,
+            &mut self.base,
+            kicked,
+            &mut self.svc_report,
+        )?;
+        let synced_at = self.svc_report.tx[TX_Q].done_at;
 
         // Backend PMD sees the head register move (one base-side
         // register read through the mailbox: a mailbox stall blocks the
@@ -448,10 +462,18 @@ impl BmGuestSession {
         // completion to the guest with an MSI.
         self.net_tx_backend
             .push_used(&mut self.base, chain.head, 0)?;
-        let report = self
-            .net_dev
-            .service(&mut self.board, &mut self.base, admitted)?;
-        let done = report.completions.first().map(|c| c.at).unwrap_or(admitted);
+        self.net_dev.service_into(
+            &mut self.board,
+            &mut self.base,
+            admitted,
+            &mut self.svc_report,
+        )?;
+        let done = self
+            .svc_report
+            .completions
+            .first()
+            .map(|c| c.at)
+            .unwrap_or(admitted);
         // Guest reaps and frees the buffer.
         while let Some((head, _)) = self.net_tx_driver.poll_used(&self.board)? {
             if let Some(buf) = self.tx_posted.remove(&head) {
@@ -524,21 +546,32 @@ impl BmGuestSession {
     ) -> Result<(Vec<u8>, IoTiming), SessionError> {
         // Make sure freshly-posted buffers have propagated to the shadow
         // ring.
-        self.net_dev.service(&mut self.board, &mut self.base, now)?;
+        self.net_dev
+            .service_into(&mut self.board, &mut self.base, now, &mut self.svc_report)?;
         let chain = self
             .net_rx_backend
             .pop_avail(&self.base)?
             .ok_or(SessionError::NoBuffers)?;
-        // Backend writes hdr + payload into the staging buffer.
-        let mut bytes = VirtioNetHeader::simple().to_bytes().to_vec();
+        // Backend writes hdr + payload into the staging buffer
+        // (assembled in the reused frame buffer).
+        let mut bytes = std::mem::take(&mut self.frame_scratch);
+        bytes.clear();
+        bytes.extend_from_slice(&VirtioNetHeader::simple().to_bytes());
         bytes.extend_from_slice(payload);
         let written = chain.writable.scatter(&mut self.base, &bytes)?;
+        self.frame_scratch = bytes;
         self.net_rx_backend
             .push_used(&mut self.base, chain.head, written as u32)?;
 
         // IO-Bond copies back and interrupts the guest.
-        let report = self.net_dev.service(&mut self.board, &mut self.base, now)?;
-        let done = report.completions.first().map(|c| c.at).unwrap_or(now);
+        self.net_dev
+            .service_into(&mut self.board, &mut self.base, now, &mut self.svc_report)?;
+        let done = self
+            .svc_report
+            .completions
+            .first()
+            .map(|c| c.at)
+            .unwrap_or(now);
 
         // Guest interrupt handler reaps.
         let mut delivered = None;
@@ -633,10 +666,13 @@ impl BmGuestSession {
         // Kick + sync to shadow (kick and PMD poll both take the
         // fault-aware register paths).
         let kicked = now + self.profile.guest_link().register_access_at(now);
-        let report = self
-            .blk_dev
-            .service(&mut self.board, &mut self.base, kicked)?;
-        let synced_at = report.tx[0].done_at;
+        self.blk_dev.service_into(
+            &mut self.board,
+            &mut self.base,
+            kicked,
+            &mut self.svc_report,
+        )?;
+        let synced_at = self.svc_report.tx[0].done_at;
         let synced = synced_at
             + self
                 .blk_dev
@@ -656,10 +692,18 @@ impl BmGuestSession {
             .push_used(&mut self.base, chain.head, written)?;
 
         // Completion back to the guest.
-        let report = self
-            .blk_dev
-            .service(&mut self.board, &mut self.base, io_done)?;
-        let done = report.completions.first().map(|c| c.at).unwrap_or(io_done);
+        self.blk_dev.service_into(
+            &mut self.board,
+            &mut self.base,
+            io_done,
+            &mut self.svc_report,
+        )?;
+        let done = self
+            .svc_report
+            .completions
+            .first()
+            .map(|c| c.at)
+            .unwrap_or(io_done);
 
         // Guest reaps: read status byte and data.
         let mut result = (BlkStatus::IoErr, Vec::new());

@@ -24,6 +24,14 @@ pub struct ServiceReport {
     pub completions: Vec<GuestCompletion>,
 }
 
+impl ServiceReport {
+    /// Empties the report for reuse, keeping buffer capacity.
+    pub fn clear(&mut self) {
+        self.tx.clear();
+        self.completions.clear();
+    }
+}
+
 /// What a needs-reset recovery accomplished.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecoveryReport {
@@ -45,6 +53,8 @@ pub struct IoBondDevice {
     /// Staging configuration used when queues activate.
     staging_slots_per_queue: u32,
     staging_slot_size: u32,
+    /// Reused per-queue completion buffer for service passes.
+    completion_scratch: Vec<GuestCompletion>,
 }
 
 impl IoBondDevice {
@@ -101,6 +111,7 @@ impl IoBondDevice {
             pci_time: SimDuration::ZERO,
             staging_slots_per_queue: 4 * u32::from(max_queue_size),
             staging_slot_size: Self::DEFAULT_SLOT_SIZE,
+            completion_scratch: Vec::new(),
         }
     }
 
@@ -297,6 +308,26 @@ impl IoBondDevice {
         base: &mut GuestRam,
         now: SimTime,
     ) -> Result<ServiceReport, VirtioError> {
+        let mut report = ServiceReport::default();
+        self.service_into(board, base, now, &mut report)?;
+        Ok(report)
+    }
+
+    /// Poll-style [`IoBondDevice::service`]: the caller owns `report`
+    /// (cleared first) and reuses it across passes, so a steady-state
+    /// service loop never allocates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ring-format errors from a misbehaving guest.
+    pub fn service_into(
+        &mut self,
+        board: &mut GuestRam,
+        base: &mut GuestRam,
+        now: SimTime,
+        report: &mut ServiceReport,
+    ) -> Result<(), VirtioError> {
+        report.clear();
         // Doorbells tell us which queues are hot, but a hardware bridge
         // scans its queues regardless; we drain them for bookkeeping.
         let _ = self.function.take_notifications();
@@ -309,21 +340,22 @@ impl IoBondDevice {
             }
             None => now,
         };
-        let mut report = ServiceReport::default();
+        let mut completions = std::mem::take(&mut self.completion_scratch);
         for (i, slot) in self.shadows.iter_mut().enumerate() {
             let Some(shadow) = slot.as_mut() else {
                 continue;
             };
             report.tx.push(shadow.sync_to_shadow(board, base, now)?);
-            let completions = shadow.sync_from_shadow(board, base, now)?;
+            shadow.sync_from_shadow(board, base, now, &mut completions)?;
             for c in &completions {
                 self.function.raise_isr();
                 let vector = self.function.state().queue(i as u16).msix_vector;
                 self.msi.post(vector.min(self.msi.vectors() - 1), c.at);
             }
-            report.completions.extend(completions);
+            report.completions.extend_from_slice(&completions);
         }
-        Ok(report)
+        self.completion_scratch = completions;
+        Ok(())
     }
 }
 

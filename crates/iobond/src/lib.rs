@@ -31,7 +31,7 @@ pub mod profile;
 pub mod shadow;
 pub mod steps;
 
-pub use device::IoBondDevice;
+pub use device::{IoBondDevice, RecoveryReport, ServiceReport};
 pub use offload::OffloadConfig;
 pub use pool::StagingPool;
 pub use profile::IoBondProfile;

@@ -32,7 +32,7 @@ use bmhive_mem::{GuestRam, SgList};
 use bmhive_sim::{SimDuration, SimTime};
 use bmhive_telemetry as telemetry;
 use bmhive_virtio::{DescChain, QueueLayout, VirtioError, Virtqueue, VirtqueueDriver};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// What one board→base synchronisation pass accomplished.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,8 +73,16 @@ pub struct ShadowQueue {
     shadow_driver: VirtqueueDriver,
     shadow_layout: QueueLayout,
     pool: StagingPool,
-    inflight: HashMap<u16, Inflight>,
+    /// In-flight chains, slab-indexed by shadow head. A shadow head is
+    /// a descriptor index in a fixed-size ring, so the table never
+    /// grows past the queue size and lookups are a direct index — no
+    /// hashing, no rehash allocations under churn.
+    inflight: Vec<Option<Inflight>>,
+    inflight_len: usize,
     deferred: VecDeque<DescChain>,
+    /// Reused head-half scratch for partial copy-backs.
+    copy_src: SgList,
+    copy_dst: SgList,
     /// Total DMA engine time consumed (for utilisation accounting).
     /// Transfers serialise *within* one synchronisation pass (one engine)
     /// but independent passes pipeline with the rest of the system.
@@ -118,8 +126,11 @@ impl ShadowQueue {
             shadow_driver,
             shadow_layout,
             pool,
-            inflight: HashMap::new(),
+            inflight: (0..shadow_layout.size).map(|_| None).collect(),
+            inflight_len: 0,
             deferred: VecDeque::new(),
+            copy_src: SgList::new(),
+            copy_dst: SgList::new(),
             dma_busy: SimDuration::ZERO,
             head_reg: 0,
             tail_reg: 0,
@@ -172,7 +183,7 @@ impl ShadowQueue {
 
     /// Chains currently in flight (posted to shadow, not yet completed).
     pub fn inflight_count(&self) -> usize {
-        self.inflight.len()
+        self.inflight_len
     }
 
     /// Chains popped from the guest ring but stalled waiting for staging
@@ -237,7 +248,7 @@ impl ShadowQueue {
             );
             telemetry::counter("iobond.chains_synced", chains as u64);
             telemetry::counter("iobond.bytes_to_shadow", bytes);
-            telemetry::gauge_max("iobond.peak_inflight", self.inflight.len() as f64);
+            telemetry::gauge_max("iobond.peak_inflight", self.inflight_len as f64);
             telemetry::gauge_max("iobond.peak_deferred", self.deferred.len() as f64);
         }
         Ok(SyncReport {
@@ -350,16 +361,16 @@ impl ShadowQueue {
             )
             .map_err(StageError::Virtio)?;
 
-        self.inflight.insert(
-            shadow_head,
-            Inflight {
-                guest_head: chain.head,
-                guest_writable: chain.writable,
-                staging_readable,
-                staging_writable,
-                table,
-            },
-        );
+        let slot = &mut self.inflight[usize::from(shadow_head)];
+        debug_assert!(slot.is_none(), "shadow head reused while in flight");
+        *slot = Some(Inflight {
+            guest_head: chain.head,
+            guest_writable: chain.writable,
+            staging_readable,
+            staging_writable,
+            table,
+        });
+        self.inflight_len += 1;
         self.head_reg += 1;
         Ok((moved, finish))
     }
@@ -367,8 +378,11 @@ impl ShadowQueue {
     /// Synchronises base → board: reaps completions from the shadow
     /// ring, DMA-copies device-written payloads back into the guest's
     /// buffers, completes the guest ring, and bumps the tail register.
-    /// Each returned completion should be followed by an MSI into the
-    /// guest (the caller owns interrupt delivery).
+    /// Completions are written into `out` (cleared first — a poll-style
+    /// buffer the caller reuses across passes so the steady state never
+    /// allocates); the count is returned. Each completion should be
+    /// followed by an MSI into the guest (the caller owns interrupt
+    /// delivery).
     ///
     /// # Errors
     ///
@@ -378,15 +392,18 @@ impl ShadowQueue {
         board: &mut GuestRam,
         base: &GuestRam,
         now: SimTime,
-    ) -> Result<Vec<GuestCompletion>, VirtioError> {
-        let mut out = Vec::new();
+        out: &mut Vec<GuestCompletion>,
+    ) -> Result<usize, VirtioError> {
+        out.clear();
         // One DMA engine: copy-backs within this pass serialise.
         let mut dma_free = now;
         while let Some((shadow_head, written)) = self.shadow_driver.poll_used(base)? {
             let inflight = self
                 .inflight
-                .remove(&shadow_head)
+                .get_mut(usize::from(shadow_head))
+                .and_then(Option::take)
                 .ok_or(VirtioError::BadHeadIndex(shadow_head))?;
+            self.inflight_len -= 1;
             let mut finish = dma_free;
             let written = written.min(inflight.staging_writable.total_len() as u32);
             if written > 0 {
@@ -419,11 +436,17 @@ impl ShadowQueue {
                         )?
                         .1
                 } else {
-                    let (src, _) = inflight.staging_writable.split_at(u64::from(written));
-                    let (dst, _) = inflight
-                        .guest_writable
-                        .split_at(u64::from(written).min(inflight.guest_writable.total_len()));
-                    self.profile.dma().transfer(base, &src, board, &dst)?.1
+                    inflight
+                        .staging_writable
+                        .prefix_into(u64::from(written), &mut self.copy_src);
+                    inflight.guest_writable.prefix_into(
+                        u64::from(written).min(inflight.guest_writable.total_len()),
+                        &mut self.copy_dst,
+                    );
+                    self.profile
+                        .dma()
+                        .transfer(base, &self.copy_src, board, &self.copy_dst)?
+                        .1
                 };
                 finish = dma_free + cost;
                 self.dma_busy += cost;
@@ -460,7 +483,7 @@ impl ShadowQueue {
             );
             telemetry::counter("iobond.completions", out.len() as u64);
         }
-        Ok(out)
+        Ok(out.len())
     }
 
     /// The guest-side virtqueue (device view), for inspection.
@@ -470,10 +493,19 @@ impl ShadowQueue {
 
     /// Guest heads of the chains currently in flight, sorted — the
     /// chains a backend failure would strand, and the ones a recovery
-    /// must replay.
+    /// must replay. Written into `out` (cleared first) so a recovery
+    /// loop can reuse one buffer across snapshots.
+    pub fn inflight_guest_heads_into(&self, out: &mut Vec<u16>) {
+        out.clear();
+        out.extend(self.inflight.iter().flatten().map(|i| i.guest_head));
+        out.sort_unstable();
+    }
+
+    /// Allocating convenience wrapper over
+    /// [`ShadowQueue::inflight_guest_heads_into`].
     pub fn inflight_guest_heads(&self) -> Vec<u16> {
-        let mut heads: Vec<u16> = self.inflight.values().map(|i| i.guest_head).collect();
-        heads.sort_unstable();
+        let mut heads = Vec::with_capacity(self.inflight_len);
+        self.inflight_guest_heads_into(&mut heads);
         heads
     }
 
@@ -581,10 +613,17 @@ mod tests {
         chain.writable.scatter(&mut r.base, b"rx-packet").unwrap();
         r.backend_vq.push_used(&mut r.base, chain.head, 9).unwrap();
         // IO-Bond copies back and completes the guest ring.
-        let completions = r
+        let mut completions = Vec::new();
+        let n = r
             .shadow
-            .sync_from_shadow(&mut r.board, &r.base, SimTime::from_micros(10))
+            .sync_from_shadow(
+                &mut r.board,
+                &r.base,
+                SimTime::from_micros(10),
+                &mut completions,
+            )
             .unwrap();
+        assert_eq!(n, 1);
         assert_eq!(completions.len(), 1);
         assert_eq!(completions[0].guest_head, guest_head);
         assert_eq!(completions[0].written, 9);
@@ -604,6 +643,7 @@ mod tests {
     #[test]
     fn staging_is_freed_after_completion() {
         let mut r = rig(8, 16);
+        let mut completions = Vec::new();
         for round in 0..20 {
             r.board.write(GuestAddr::new(0x8000), b"abcd").unwrap();
             let head = r
@@ -620,7 +660,12 @@ mod tests {
             let chain = r.backend_vq.pop_avail(&r.base).unwrap().unwrap();
             r.backend_vq.push_used(&mut r.base, chain.head, 0).unwrap();
             r.shadow
-                .sync_from_shadow(&mut r.board, &r.base, SimTime::from_micros(round))
+                .sync_from_shadow(
+                    &mut r.board,
+                    &r.base,
+                    SimTime::from_micros(round),
+                    &mut completions,
+                )
                 .unwrap();
             assert_eq!(r.guest_driver.poll_used(&r.board).unwrap(), Some((head, 0)));
         }
@@ -656,7 +701,7 @@ mod tests {
         let chain = r.backend_vq.pop_avail(&r.base).unwrap().unwrap();
         r.backend_vq.push_used(&mut r.base, chain.head, 0).unwrap();
         r.shadow
-            .sync_from_shadow(&mut r.board, &r.base, SimTime::ZERO)
+            .sync_from_shadow(&mut r.board, &r.base, SimTime::ZERO, &mut Vec::new())
             .unwrap();
         let report = r
             .shadow
@@ -701,11 +746,17 @@ mod tests {
             .unwrap();
         assert_eq!(report.chains, 0);
         assert_eq!(report.bytes, 0);
-        let completions = r
+        let mut completions = vec![GuestCompletion {
+            guest_head: 7,
+            written: 7,
+            at: SimTime::ZERO,
+        }];
+        let n = r
             .shadow
-            .sync_from_shadow(&mut r.board, &r.base, SimTime::ZERO)
+            .sync_from_shadow(&mut r.board, &r.base, SimTime::ZERO, &mut completions)
             .unwrap();
-        assert!(completions.is_empty());
+        assert_eq!(n, 0);
+        assert!(completions.is_empty(), "stale entries are cleared");
     }
 
     #[test]
@@ -727,9 +778,14 @@ mod tests {
         let chain = r.backend_vq.pop_avail(&r.base).unwrap().unwrap();
         chain.writable.scatter(&mut r.base, b"12345678").unwrap();
         r.backend_vq.push_used(&mut r.base, chain.head, 8).unwrap();
-        let completions = r
-            .shadow
-            .sync_from_shadow(&mut r.board, &r.base, SimTime::from_micros(5))
+        let mut completions = Vec::new();
+        r.shadow
+            .sync_from_shadow(
+                &mut r.board,
+                &r.base,
+                SimTime::from_micros(5),
+                &mut completions,
+            )
             .unwrap();
         assert_eq!(completions.len(), 1);
         assert_eq!(completions[0].written, 8);

@@ -76,7 +76,7 @@ proptest! {
                 received.push(chain.readable.gather(&r.base).unwrap());
                 r.backend.push_used(&mut r.base, chain.head, 0).unwrap();
             }
-            r.shadow.sync_from_shadow(&mut r.board, &r.base, now).unwrap();
+            r.shadow.sync_from_shadow(&mut r.board, &r.base, now, &mut Vec::new()).unwrap();
             while r.driver.poll_used(&r.board).unwrap().is_some() {}
         }
         prop_assert_eq!(received, sent);
@@ -106,7 +106,8 @@ proptest! {
             let data: Vec<u8> = (0..produce).map(|x| (x % 251) as u8).collect();
             chain.writable.scatter(&mut r.base, &data).unwrap();
             r.backend.push_used(&mut r.base, chain.head, produce).unwrap();
-            let completions = r.shadow.sync_from_shadow(&mut r.board, &r.base, now).unwrap();
+            let mut completions = Vec::new();
+            r.shadow.sync_from_shadow(&mut r.board, &r.base, now, &mut completions).unwrap();
             prop_assert_eq!(completions.len(), 1);
             prop_assert_eq!(completions[0].written, produce);
             let (got_head, got_len) = r.driver.poll_used(&r.board).unwrap().unwrap();
@@ -143,7 +144,7 @@ proptest! {
                 seen.push(u64::from_le_bytes(bytes.try_into().unwrap()));
                 r.backend.push_used(&mut r.base, chain.head, 0).unwrap();
             }
-            r.shadow.sync_from_shadow(&mut r.board, &r.base, now).unwrap();
+            r.shadow.sync_from_shadow(&mut r.board, &r.base, now, &mut Vec::new()).unwrap();
             while r.driver.poll_used(&r.board).unwrap().is_some() {}
             if seen.len() as u64 == n_chains {
                 break;
@@ -174,7 +175,7 @@ proptest! {
             while let Some(chain) = r.backend.pop_avail(&r.base).unwrap() {
                 r.backend.push_used(&mut r.base, chain.head, 0).unwrap();
             }
-            r.shadow.sync_from_shadow(&mut r.board, &r.base, now).unwrap();
+            r.shadow.sync_from_shadow(&mut r.board, &r.base, now, &mut Vec::new()).unwrap();
             while r.driver.poll_used(&r.board).unwrap().is_some() {}
             prop_assert!(r.shadow.head_reg() >= head_before);
             prop_assert!(r.shadow.tail_reg() >= tail_before);

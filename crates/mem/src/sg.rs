@@ -195,6 +195,41 @@ impl SgList {
         Ok(offset as u64)
     }
 
+    /// Empties the list in place, keeping any heap capacity for reuse.
+    pub fn clear(&mut self) {
+        match &mut self.repr {
+            Repr::Inline { len, .. } => *len = 0,
+            Repr::Heap(vec) => vec.clear(),
+        }
+    }
+
+    /// Writes the first `mid` bytes' worth of segments into `out`
+    /// (cleared first), dividing a straddling segment — the head half
+    /// of [`SgList::split_at`] without constructing the tail. Reusing
+    /// one `out` across calls keeps repeated partial copies (e.g. a DMA
+    /// engine's short-completion path) allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mid > total_len()`.
+    pub fn prefix_into(&self, mid: u64, out: &mut SgList) {
+        assert!(mid <= self.total_len(), "prefix_into: offset beyond list");
+        out.clear();
+        let mut remaining = mid;
+        for seg in self.segments() {
+            if remaining == 0 {
+                break;
+            }
+            if u64::from(seg.len) <= remaining {
+                out.push(*seg);
+                remaining -= u64::from(seg.len);
+            } else {
+                out.push(SgSegment::new(seg.addr, remaining as u32));
+                remaining = 0;
+            }
+        }
+    }
+
     /// Splits the list at a byte offset: returns `(head, tail)` where
     /// `head` covers the first `mid` bytes. A segment straddling the
     /// boundary is divided. Used to separate a virtio request header from
@@ -361,6 +396,39 @@ mod tests {
     #[should_panic(expected = "offset beyond list")]
     fn split_beyond_end_panics() {
         SgList::single(GuestAddr::new(0), 4).split_at(5);
+    }
+
+    #[test]
+    fn prefix_into_matches_split_at_head() {
+        let sg = SgList::from_segments(vec![
+            SgSegment::new(GuestAddr::new(0), 10),
+            SgSegment::new(GuestAddr::new(100), 10),
+        ]);
+        let mut out = SgList::new();
+        for mid in [0, 7, 10, 13, 20] {
+            sg.prefix_into(mid, &mut out);
+            assert_eq!(out, sg.split_at(mid).0, "mid {mid}");
+        }
+    }
+
+    #[test]
+    fn clear_keeps_heap_capacity_and_resets_inline() {
+        let long: Vec<SgSegment> = (0..6)
+            .map(|i| SgSegment::new(GuestAddr::new(i * 10), 1))
+            .collect();
+        let mut heap = SgList::from_segments(long);
+        heap.clear();
+        assert!(heap.is_empty());
+        let mut inline = SgList::single(GuestAddr::new(0), 4);
+        inline.clear();
+        assert!(inline.is_empty() && inline.is_inline());
+    }
+
+    #[test]
+    #[should_panic(expected = "offset beyond list")]
+    fn prefix_beyond_end_panics() {
+        let mut out = SgList::new();
+        SgList::single(GuestAddr::new(0), 4).prefix_into(5, &mut out);
     }
 
     #[test]

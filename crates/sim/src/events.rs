@@ -11,19 +11,33 @@
 //! `SLOTS` power-of-two buckets over the raw `SimTime` nanoseconds.
 //! Level `l` buckets are `2^(6l)` ns wide, so the wheel spans `2^48` ns
 //! (~3.2 simulated days) before falling back to a sorted overflow spill
-//! list. Schedule and pop are amortized O(1): an entry is appended to
+//! list. Schedule and pop are amortized O(1): an entry is linked into
 //! the bucket its time hashes to; a pop pulls the minimum straight out
 //! of the lowest occupied bucket, advancing the cursor to it and
 //! re-hashing only that bucket's survivors (each lands at a strictly
 //! lower level, because they share the level digit with the new
 //! cursor).
 //!
+//! # Storage: slab + intrusive free list
+//!
+//! Every pending event lives in one slot of a single slab
+//! (`Vec<Node<E>>`); buckets, the front buffer, the overflow spill and
+//! the past list hold `u32` slot ids, and each bucket is an intrusive
+//! singly-linked chain through the nodes' `next` field. Popped slots
+//! are pushed onto a free list threaded through the same `next` field
+//! and recycled by the next schedule, so steady state — schedule, pop,
+//! cascade — performs **zero heap allocations**: a cascade relinks
+//! chain nodes instead of moving entries between `Vec`s, and the slab
+//! only grows while the pending population exceeds every previous
+//! peak. [`EventQueue::pop_batch`] drains a whole tick into a caller
+//! scratch buffer so hot loops don't interleave peeks and pops.
+//!
 //! Determinism: every pop selects the strict minimum `(time, seq)`
 //! pair, exactly like the binary-heap implementation this replaced
 //! (kept in the private `heap` module as the model for the randomized
-//! equivalence test). Buckets are scanned for the minimum rather than
-//! trusting vector order, because a cascaded batch can append
-//! older-`seq` entries behind newer direct inserts.
+//! equivalence test). Chains are scanned for the minimum rather than
+//! trusting link order, because a cascaded batch can link older-`seq`
+//! entries behind newer direct inserts.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -35,19 +49,19 @@ const SLOTS: usize = 1 << BITS;
 /// Wheel levels; times more than `2^(BITS*LEVELS)` ns past the cursor
 /// spill to the sorted overflow list.
 const LEVELS: usize = 8;
+/// Null slot id for intrusive links (chain ends, empty buckets, empty
+/// free list).
+const NIL: u32 = u32::MAX;
 
+/// One slab slot: an event with its key and the intrusive link used
+/// both for bucket chains (while pending) and the free list (while
+/// recycled). `event` is `None` only on the free list.
 #[derive(Debug, Clone)]
-struct Entry<E> {
+struct Node<E> {
     time: u64,
     seq: u64,
-    event: E,
-}
-
-impl<E> Entry<E> {
-    #[inline]
-    fn key(&self) -> (u64, u64) {
-        (self.time, self.seq)
-    }
+    next: u32,
+    event: Option<E>,
 }
 
 /// An event queue keyed by simulated time.
@@ -74,27 +88,31 @@ const FRONT_CAP: usize = 32;
 
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
-    /// `LEVELS * SLOTS` buckets, level-major.
-    buckets: Vec<Vec<Entry<E>>>,
+    /// Every pending (and recycled) event slot; all other containers
+    /// hold indices into this.
+    slab: Vec<Node<E>>,
+    /// Head of the free list threaded through `Node::next` (`NIL` when
+    /// every slot is live).
+    free: u32,
+    /// `LEVELS * SLOTS` bucket chain heads, level-major (`NIL` =
+    /// empty). Chains are unordered; pops min-scan them.
+    heads: Vec<u32>,
     /// Small-population fast path: an unsorted scratchpad of at most
-    /// [`FRONT_CAP`] entries. Schedule pushes, pop scans for the
+    /// [`FRONT_CAP`] slot ids. Schedule pushes, pop scans for the
     /// `(time, seq)` minimum — at this size a predictable linear scan
     /// beats both the heap's sifts and the wheel's bucket hashing.
     /// Invariant: the front buffer and the wheel (buckets + overflow)
     /// are never simultaneously non-empty — schedules go to the front
     /// buffer only while the wheel is empty, and spill the whole
     /// buffer into the wheel when it outgrows [`FRONT_CAP`].
-    front: Vec<Entry<E>>,
+    front: Vec<u32>,
     /// One occupancy bitmap per level (bit `s` = bucket `s` non-empty).
     occupied: [u64; LEVELS],
-    /// Entries beyond the wheel span, ascending by `(time, seq)`.
-    overflow: Vec<Entry<E>>,
-    /// Entries scheduled before `last_popped`: kept so the next pop can
-    /// report the causality violation exactly like the heap did.
-    past: Vec<Entry<E>>,
-    /// Scratch vector reused by cascades, so steady-state pops never
-    /// allocate.
-    scratch: Vec<Entry<E>>,
+    /// Slot ids beyond the wheel span, ascending by `(time, seq)`.
+    overflow: Vec<u32>,
+    /// Slot ids scheduled before `last_popped`: kept so the next pop
+    /// can report the causality violation exactly like the heap did.
+    past: Vec<u32>,
     /// Placement origin: entries hash into the wheel relative to this.
     /// Advances to the base of the bucket being cascaded; always
     /// `<= last_popped` and `<=` every pending wheel time.
@@ -116,15 +134,14 @@ impl<E> EventQueue<E> {
     /// steady-state event population (one slot per inflight operation)
     /// use this to keep the schedule/pop hot path allocation-free.
     pub fn with_capacity(capacity: usize) -> Self {
-        let mut buckets = Vec::with_capacity(LEVELS * SLOTS);
-        buckets.resize_with(LEVELS * SLOTS, Vec::new);
         EventQueue {
-            buckets,
+            slab: Vec::with_capacity(capacity),
+            free: NIL,
+            heads: vec![NIL; LEVELS * SLOTS],
             front: Vec::new(),
             occupied: [0; LEVELS],
             overflow: Vec::new(),
             past: Vec::new(),
-            scratch: Vec::new(),
             cursor: 0,
             len: 0,
             cap: capacity,
@@ -136,10 +153,11 @@ impl<E> EventQueue<E> {
     /// Reserves room for at least `additional` more pending events.
     pub fn reserve(&mut self, additional: usize) {
         self.cap = self.cap.max(self.len + additional);
+        self.slab.reserve(self.cap.saturating_sub(self.slab.len()));
     }
 
     /// Drops all pending events and rewinds the clock to
-    /// [`SimTime::ZERO`], retaining the buckets' allocations so the
+    /// [`SimTime::ZERO`], retaining the slab's allocation so the
     /// queue can be reused for a fresh run without reallocating.
     pub fn clear(&mut self) {
         for (level, occ) in self.occupied.iter_mut().enumerate() {
@@ -147,10 +165,12 @@ impl<E> EventQueue<E> {
             while bits != 0 {
                 let slot = bits.trailing_zeros() as usize;
                 bits &= bits - 1;
-                self.buckets[level * SLOTS + slot].clear();
+                self.heads[level * SLOTS + slot] = NIL;
             }
             *occ = 0;
         }
+        self.slab.clear();
+        self.free = NIL;
         self.front.clear();
         self.overflow.clear();
         self.past.clear();
@@ -166,6 +186,57 @@ impl<E> EventQueue<E> {
         self.cap.max(self.len)
     }
 
+    /// Slab slots ever allocated: the peak concurrent population, not
+    /// the total event count. Recycling keeps this bounded under
+    /// churn; the slab-reuse test pins that contract.
+    pub fn slab_len(&self) -> usize {
+        self.slab.len()
+    }
+
+    /// `(time, seq)` key of a live slot.
+    #[inline]
+    fn key(&self, id: u32) -> (u64, u64) {
+        let n = &self.slab[id as usize];
+        (n.time, n.seq)
+    }
+
+    /// Takes a slot from the free list (or grows the slab) and fills
+    /// it. Steady state always finds a recycled slot.
+    #[inline]
+    fn alloc_node(&mut self, time: u64, seq: u64, event: E) -> u32 {
+        if self.free != NIL {
+            let id = self.free;
+            let node = &mut self.slab[id as usize];
+            self.free = node.next;
+            node.time = time;
+            node.seq = seq;
+            node.next = NIL;
+            node.event = Some(event);
+            id
+        } else {
+            let id = u32::try_from(self.slab.len()).expect("event slab exceeds u32 slots");
+            self.slab.push(Node {
+                time,
+                seq,
+                next: NIL,
+                event: Some(event),
+            });
+            id
+        }
+    }
+
+    /// Returns a slot to the free list, yielding its time and event.
+    #[inline]
+    fn free_node(&mut self, id: u32) -> (u64, E) {
+        let free = self.free;
+        let node = &mut self.slab[id as usize];
+        let time = node.time;
+        let event = node.event.take().expect("freeing a live node");
+        node.next = free;
+        self.free = id;
+        (time, event)
+    }
+
     /// Schedules `event` to fire at `time`.
     ///
     /// Scheduling in the past (before the last popped event) is allowed at
@@ -175,50 +246,53 @@ impl<E> EventQueue<E> {
         let seq = self.seq;
         self.seq += 1;
         self.len += 1;
-        let entry = Entry {
-            time: time.as_nanos(),
-            seq,
-            event,
-        };
+        let id = self.alloc_node(time.as_nanos(), seq, event);
         if time < self.last_popped {
-            self.past.push(entry);
+            self.past.push(id);
         } else if self.len - self.front.len() - self.past.len() > 1 {
             // The wheel already holds entries (`> 1` because `len`
             // includes the one being scheduled): keep feeding it.
-            self.place(entry);
+            self.place(id);
         } else if self.front.len() < FRONT_CAP {
             // Wheel empty: stay on the small-queue fast path.
-            self.front.push(entry);
+            self.front.push(id);
         } else {
             // The small queue outgrew its buffer: spill everything
-            // into the wheel and continue there.
-            let mut front = std::mem::take(&mut self.front);
-            for e in front.drain(..) {
-                self.place(e);
+            // into the wheel and continue there. Ids are `Copy`, so
+            // the buffer is walked in place and truncated — no
+            // temporary.
+            for i in 0..self.front.len() {
+                let fid = self.front[i];
+                self.place(fid);
             }
-            self.front = front;
-            self.place(entry);
+            self.front.clear();
+            self.place(id);
         }
     }
 
-    /// Hashes `entry` into the wheel relative to `self.cursor`, or into
-    /// the sorted overflow spill if it lies beyond the wheel span.
-    /// Requires `entry.time >= self.cursor`.
-    fn place(&mut self, entry: Entry<E>) {
-        let distance = entry.time ^ self.cursor;
+    /// Hashes slot `id` into the wheel relative to `self.cursor` by
+    /// linking it at the head of its bucket chain, or into the sorted
+    /// overflow spill if it lies beyond the wheel span. Requires the
+    /// slot's time `>= self.cursor`.
+    fn place(&mut self, id: u32) {
+        let time = self.slab[id as usize].time;
+        let distance = time ^ self.cursor;
         let level = if distance == 0 {
             0
         } else {
             ((63 - distance.leading_zeros()) / BITS) as usize
         };
         if level >= LEVELS {
-            let at = self.overflow.partition_point(|e| e.key() < entry.key());
-            self.overflow.insert(at, entry);
+            let key = self.key(id);
+            let at = self.overflow.partition_point(|&e| self.key(e) < key);
+            self.overflow.insert(at, id);
             return;
         }
-        let slot = ((entry.time >> (BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        let slot = ((time >> (BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
         self.occupied[level] |= 1 << slot;
-        self.buckets[level * SLOTS + slot].push(entry);
+        let head = &mut self.heads[level * SLOTS + slot];
+        self.slab[id as usize].next = *head;
+        *head = id;
     }
 
     /// Removes and returns the earliest event, with its scheduled time.
@@ -233,11 +307,12 @@ impl<E> EventQueue<E> {
             // A past entry is strictly earlier than anything in the
             // wheel, so it is the global minimum the heap would pop.
             let at = (0..self.past.len())
-                .min_by_key(|&i| self.past[i].key())
+                .min_by_key(|&i| self.key(self.past[i]))
                 .expect("non-empty");
-            let entry = self.past.swap_remove(at);
+            let id = self.past.swap_remove(at);
             self.len -= 1;
-            let time = SimTime::from_nanos(entry.time);
+            let (time_ns, _event) = self.free_node(id);
+            let time = SimTime::from_nanos(time_ns);
             assert!(
                 time >= self.last_popped,
                 "event scheduled in the past: {} < {}",
@@ -250,15 +325,16 @@ impl<E> EventQueue<E> {
             // Front buffer active ⇒ the wheel is empty, so the buffer's
             // `(time, seq)` minimum is the global minimum.
             let at = (0..self.front.len())
-                .min_by_key(|&i| self.front[i].key())
+                .min_by_key(|&i| self.key(self.front[i]))
                 .expect("non-empty");
-            let entry = self.front.swap_remove(at);
+            let id = self.front.swap_remove(at);
             self.len -= 1;
-            self.cursor = entry.time;
-            let time = SimTime::from_nanos(entry.time);
+            let (time_ns, event) = self.free_node(id);
+            self.cursor = time_ns;
+            let time = SimTime::from_nanos(time_ns);
             debug_assert!(time >= self.last_popped);
             self.last_popped = time;
-            return Some((time, entry.event));
+            return Some((time, event));
         }
         loop {
             let Some(level) = self.occupied.iter().position(|&occ| occ != 0) else {
@@ -269,19 +345,36 @@ impl<E> EventQueue<E> {
                 continue;
             };
             let slot = self.occupied[level].trailing_zeros() as usize;
+            let idx = level * SLOTS + slot;
             if level == 0 {
-                let bucket = &mut self.buckets[slot];
                 // A 1 ns bucket: every entry shares `time`, so the
-                // minimum is the smallest seq (FIFO).
-                let at = (0..bucket.len())
-                    .min_by_key(|&i| bucket[i].seq)
-                    .expect("occupied bucket");
-                let entry = bucket.swap_remove(at);
-                if bucket.is_empty() {
+                // minimum is the smallest seq (FIFO). Unlink it from
+                // the chain in place — no moves, no allocation.
+                let head = self.heads[idx];
+                let mut min_id = head;
+                let mut min_prev = NIL;
+                let mut prev = head;
+                let mut cur = self.slab[head as usize].next;
+                while cur != NIL {
+                    if self.slab[cur as usize].seq < self.slab[min_id as usize].seq {
+                        min_id = cur;
+                        min_prev = prev;
+                    }
+                    prev = cur;
+                    cur = self.slab[cur as usize].next;
+                }
+                let after = self.slab[min_id as usize].next;
+                if min_prev == NIL {
+                    self.heads[idx] = after;
+                } else {
+                    self.slab[min_prev as usize].next = after;
+                }
+                if self.heads[idx] == NIL {
                     self.occupied[0] &= !(1u64 << slot);
                 }
                 self.len -= 1;
-                let time = SimTime::from_nanos(entry.time);
+                let (time_ns, event) = self.free_node(min_id);
+                let time = SimTime::from_nanos(time_ns);
                 assert!(
                     time >= self.last_popped,
                     "event scheduled in the past: {} < {}",
@@ -289,36 +382,45 @@ impl<E> EventQueue<E> {
                     self.last_popped
                 );
                 self.last_popped = time;
-                return Some((time, entry.event));
+                return Some((time, event));
             }
             // Single-pass cascade: this bucket holds the wheel's
             // minimum, so advance the cursor straight to that minimum
             // (every other wheel entry is strictly later) and pop it.
             // The bucket's survivors share the level digit with the
             // new cursor, so re-placing them always lands strictly
-            // lower — one pass over one bucket per pop, instead of one
-            // cascade per level.
-            let idx = level * SLOTS + slot;
+            // lower — one pass over one chain per pop, relinking nodes
+            // instead of moving entries between vectors.
             self.occupied[level] &= !(1u64 << slot);
-            let entry = if self.buckets[idx].len() == 1 {
-                self.buckets[idx].pop().expect("occupied bucket")
+            let head = std::mem::replace(&mut self.heads[idx], NIL);
+            let min_id = if self.slab[head as usize].next == NIL {
+                head
             } else {
-                let mut scratch = std::mem::take(&mut self.scratch);
-                std::mem::swap(&mut scratch, &mut self.buckets[idx]);
-                let at = (0..scratch.len())
-                    .min_by_key(|&i| scratch[i].key())
-                    .expect("occupied bucket");
-                let entry = scratch.swap_remove(at);
-                self.cursor = entry.time;
-                for e in scratch.drain(..) {
-                    self.place(e);
+                let mut min_id = head;
+                let mut cur = self.slab[head as usize].next;
+                while cur != NIL {
+                    if self.key(cur) < self.key(min_id) {
+                        min_id = cur;
+                    }
+                    cur = self.slab[cur as usize].next;
                 }
-                self.scratch = scratch;
-                entry
+                // Advance the cursor before re-placing the survivors so
+                // they hash relative to the new minimum.
+                self.cursor = self.slab[min_id as usize].time;
+                let mut cur = head;
+                while cur != NIL {
+                    let next = self.slab[cur as usize].next;
+                    if cur != min_id {
+                        self.place(cur);
+                    }
+                    cur = next;
+                }
+                min_id
             };
-            self.cursor = entry.time;
             self.len -= 1;
-            let time = SimTime::from_nanos(entry.time);
+            let (time_ns, event) = self.free_node(min_id);
+            self.cursor = time_ns;
+            let time = SimTime::from_nanos(time_ns);
             assert!(
                 time >= self.last_popped,
                 "event scheduled in the past: {} < {}",
@@ -326,42 +428,72 @@ impl<E> EventQueue<E> {
                 self.last_popped
             );
             self.last_popped = time;
-            return Some((time, entry.event));
+            return Some((time, event));
         }
+    }
+
+    /// Drains every event due at the earliest pending tick into `out`,
+    /// clearing it first, and returns how many were delivered (0 when
+    /// the queue is empty).
+    ///
+    /// The batch is exactly the prefix a [`pop`](Self::pop) loop would
+    /// produce: all pending events sharing the minimum time, in `seq`
+    /// (FIFO) order. Events scheduled *for the same tick while the
+    /// caller processes the batch* carry higher `seq`s and land in the
+    /// next batch — precisely where a pop loop would deliver them, so
+    /// batching never reorders a simulation. Passing the same scratch
+    /// vector every tick keeps delivery allocation-free once the
+    /// buffer has grown to the widest tick.
+    pub fn pop_batch(&mut self, out: &mut Vec<(SimTime, E)>) -> usize {
+        out.clear();
+        let Some(first) = self.pop() else {
+            return 0;
+        };
+        let tick = first.0;
+        out.push(first);
+        while self.peek_time() == Some(tick) {
+            let next = self.pop().expect("peeked a pending event");
+            out.push(next);
+        }
+        out.len()
     }
 
     /// Moves the leading run of overflow entries that now fits the
     /// wheel span in, re-anchoring the cursor at the earliest one.
     fn drain_overflow(&mut self) {
-        self.cursor = self.overflow[0].time;
+        self.cursor = self.slab[self.overflow[0] as usize].time;
         let span = 1u64 << (BITS * LEVELS as u32);
         let fits = self
             .overflow
-            .partition_point(|e| e.time ^ self.cursor < span);
-        for entry in self.overflow.drain(..fits) {
-            let distance = entry.time ^ self.cursor;
-            let level = if distance == 0 {
-                0
-            } else {
-                ((63 - distance.leading_zeros()) / BITS) as usize
-            };
-            let slot = ((entry.time >> (BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
-            self.occupied[level] |= 1 << slot;
-            self.buckets[level * SLOTS + slot].push(entry);
+            .partition_point(|&e| self.slab[e as usize].time ^ self.cursor < span);
+        for i in 0..fits {
+            let id = self.overflow[i];
+            // Fits the span by construction, so this never re-enters
+            // the overflow list it is being drained from.
+            self.place(id);
         }
+        self.overflow.drain(..fits);
     }
 
     /// The scheduled time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        let mut min: Option<u64> = self.past.iter().map(|e| e.time).min();
+        let mut min: Option<u64> = self
+            .past
+            .iter()
+            .map(|&id| self.slab[id as usize].time)
+            .min();
         if min.is_none() {
-            min = self.front.iter().map(|e| e.time).min();
+            min = self
+                .front
+                .iter()
+                .map(|&id| self.slab[id as usize].time)
+                .min();
         }
         if min.is_none() {
             min = self.wheel_min_time();
         }
         if min.is_none() {
-            min = self.overflow.first().map(|e| e.time);
+            min = self.overflow.first().map(|&id| self.slab[id as usize].time);
         }
         min.map(SimTime::from_nanos)
     }
@@ -372,10 +504,14 @@ impl<E> EventQueue<E> {
     fn wheel_min_time(&self) -> Option<u64> {
         let level = self.occupied.iter().position(|&occ| occ != 0)?;
         let slot = self.occupied[level].trailing_zeros() as usize;
-        self.buckets[level * SLOTS + slot]
-            .iter()
-            .map(|e| e.time)
-            .min()
+        let mut cur = self.heads[level * SLOTS + slot];
+        let mut min: Option<u64> = None;
+        while cur != NIL {
+            let node = &self.slab[cur as usize];
+            min = Some(min.map_or(node.time, |m| m.min(node.time)));
+            cur = node.next;
+        }
+        min
     }
 
     /// Number of pending events.
@@ -520,7 +656,7 @@ mod tests {
     #[test]
     fn ties_break_fifo_across_bucket_boundaries() {
         // Same-time events interleaved with events that hash to other
-        // levels and slots: cascades append older-seq entries behind
+        // levels and slots: cascades link older-seq entries behind
         // newer ones, and the min-scan must still pop strict FIFO.
         let mut q = EventQueue::new();
         let t = SimTime::from_micros(100); // level > 0 from cursor 0
@@ -641,6 +777,68 @@ mod tests {
         assert_eq!(q.pop(), None);
     }
 
+    #[test]
+    fn pop_batch_drains_one_tick_in_fifo_order() {
+        let mut q = EventQueue::new();
+        let t1 = SimTime::from_nanos(10);
+        let t2 = SimTime::from_nanos(20);
+        q.schedule(t2, 10);
+        q.schedule(t1, 0);
+        q.schedule(t1, 1);
+        q.schedule(t2, 11);
+        q.schedule(t1, 2);
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_batch(&mut batch), 3);
+        assert_eq!(batch, vec![(t1, 0), (t1, 1), (t1, 2)]);
+        // The scratch is cleared per call and reused.
+        assert_eq!(q.pop_batch(&mut batch), 2);
+        assert_eq!(batch, vec![(t2, 10), (t2, 11)]);
+        assert_eq!(q.pop_batch(&mut batch), 0);
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn pop_batch_defers_same_tick_events_scheduled_mid_batch() {
+        // A handler scheduling *for the tick being processed* must see
+        // its event in the next batch — the same place a pop loop
+        // would deliver it (its seq is higher than every popped one).
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        q.schedule(t, 0);
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_batch(&mut batch), 1);
+        assert_eq!(batch, vec![(t, 0)]);
+        q.schedule(t, 1); // "mid-batch" follow-up at the same tick
+        assert_eq!(q.pop_batch(&mut batch), 1);
+        assert_eq!(batch, vec![(t, 1)]);
+    }
+
+    #[test]
+    fn slab_reuse_keeps_allocation_bounded_under_churn() {
+        // A steady population cycled through schedule/pop thousands of
+        // times must never grow the slab past its warm-up size: every
+        // pop recycles a slot the next schedule reuses.
+        const POP: u64 = 100; // > FRONT_CAP, so the wheel is exercised
+        let mut q = EventQueue::new();
+        let mut rng = SimRng::with_stream(9, 0x51ab);
+        for i in 0..POP {
+            q.schedule(SimTime::from_nanos(1 + i), i);
+        }
+        let warm = q.slab_len();
+        assert_eq!(warm, POP as usize);
+        for _ in 0..50_000 {
+            let (now, v) = q.pop().expect("population is steady");
+            let gap = 1 + rng.below(1 << 12);
+            q.schedule(SimTime::from_nanos(now.as_nanos() + gap), v);
+        }
+        assert_eq!(q.len(), POP as usize);
+        assert_eq!(
+            q.slab_len(),
+            warm,
+            "churn must recycle slots, not grow the slab"
+        );
+    }
+
     /// The tentpole proof: the wheel and the retired heap must agree on
     /// every operation's result over millions of randomized
     /// interleavings — mixed schedule bursts and pop runs, clustered
@@ -699,6 +897,76 @@ mod tests {
                     break;
                 }
             }
+        }
+    }
+
+    /// The batched path against the same model: draining via
+    /// `pop_batch` must yield the heap's exact pop sequence, batch
+    /// boundaries must align with tick boundaries, and the scratch
+    /// buffer is reused across the whole run.
+    #[test]
+    fn randomized_batched_equivalence_with_heap_model() {
+        for seed in 0..4u64 {
+            let mut rng = SimRng::with_stream(seed, 0xba7c);
+            let mut wheel: EventQueue<u64> = EventQueue::new();
+            let mut model: HeapEventQueue<u64> = HeapEventQueue::new();
+            let mut batch: Vec<(SimTime, u64)> = Vec::new();
+            let mut scheduled = 0u64;
+            let mut ops = 0u64;
+            while ops < 1_500_000 {
+                if rng.chance(0.55) || wheel.is_empty() {
+                    let burst = rng.range(1, 24);
+                    for _ in 0..burst {
+                        let offset = match rng.below(10) {
+                            0..=5 => rng.below(64),
+                            6 | 7 => rng.below(1 << 14),
+                            8 => rng.below(1 << 30),
+                            _ => (1 << 47) + rng.below(1 << 49),
+                        };
+                        let t = SimTime::from_nanos(model.now().as_nanos() + offset);
+                        wheel.schedule(t, scheduled);
+                        model.schedule(t, scheduled);
+                        scheduled += 1;
+                        ops += 1;
+                    }
+                } else {
+                    // Drain a few whole ticks; every batch must be the
+                    // exact prefix the model pops, all at one time.
+                    let ticks = rng.range(1, 4);
+                    for _ in 0..ticks {
+                        let n = wheel.pop_batch(&mut batch);
+                        assert_eq!(n, batch.len(), "seed {seed}");
+                        if n == 0 {
+                            assert_eq!(model.pop(), None, "seed {seed}");
+                            break;
+                        }
+                        let tick = batch[0].0;
+                        for &(time, event) in &batch {
+                            assert_eq!(time, tick, "seed {seed}: batch spans ticks");
+                            assert_eq!(
+                                model.pop(),
+                                Some((time, event)),
+                                "seed {seed} after {ops} ops"
+                            );
+                            ops += 1;
+                        }
+                        assert_ne!(
+                            wheel.peek_time(),
+                            Some(tick),
+                            "seed {seed}: batch must drain its tick completely"
+                        );
+                    }
+                }
+                assert_eq!(wheel.len(), model.len(), "seed {seed}");
+                assert_eq!(wheel.now(), model.now(), "seed {seed}");
+            }
+            // Drain both to the end, batch against pops.
+            while wheel.pop_batch(&mut batch) > 0 {
+                for &(time, event) in &batch {
+                    assert_eq!(model.pop(), Some((time, event)), "seed {seed} drain");
+                }
+            }
+            assert_eq!(model.pop(), None, "seed {seed} drain end");
         }
     }
 }

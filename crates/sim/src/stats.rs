@@ -307,12 +307,23 @@ impl Summary {
 ///
 /// Panics if `samples` is empty or `p` is outside `[0, 100]`.
 pub fn exact_percentile(samples: &[f64], p: f64) -> f64 {
+    let mut scratch = Vec::new();
+    exact_percentile_into(samples, p, &mut scratch)
+}
+
+/// [`exact_percentile`] with a caller-owned scratch buffer: `samples`
+/// is copied into `scratch` (reusing its capacity) and quickselected
+/// in place, so repeated percentile queries over same-sized sample
+/// sets — the fig1 study asks four per hour — allocate at most once
+/// across all of them instead of cloning per call.
+pub fn exact_percentile_into(samples: &[f64], p: f64, scratch: &mut Vec<f64>) -> f64 {
     assert!(!samples.is_empty(), "exact_percentile: empty sample set");
     assert!(
         (0.0..=100.0).contains(&p),
         "exact_percentile: p out of range"
     );
-    let mut scratch = samples.to_vec();
+    scratch.clear();
+    scratch.extend_from_slice(samples);
     let rank = ((p / 100.0) * scratch.len() as f64 - 1e-9).ceil().max(1.0) as usize - 1;
     let rank = rank.min(scratch.len() - 1);
     // Quickselect: the same order statistic a full sort would produce,

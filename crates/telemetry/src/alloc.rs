@@ -31,6 +31,15 @@
 //! counter can legitimately dip below zero; the *delta* between a
 //! [`measure_peak`] window's start point and the subsequent peak is
 //! what the gate reads, and that is non-negative by construction.
+//!
+//! Alongside the byte counters, the same hooks keep thread-local
+//! allocation/deallocation *call counts* ([`alloc_count`] /
+//! [`dealloc_count`], windowed by [`measure_allocs`]). Bytes answer
+//! "does memory grow with scale?" (the `fleet_scale` O(1) gate);
+//! counts answer "does steady state touch the allocator at all?" (the
+//! `allocs_per_event` bench gate). The two are deliberately
+//! independent so neither gate's contract moves when the other's
+//! instrumentation changes.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -40,6 +49,8 @@ thread_local! {
     // allocator's hot path can touch them without re-entering itself.
     static LIVE_BYTES: Cell<i64> = const { Cell::new(0) };
     static PEAK_BYTES: Cell<i64> = const { Cell::new(0) };
+    static ALLOC_COUNT: Cell<u64> = const { Cell::new(0) };
+    static DEALLOC_COUNT: Cell<u64> = const { Cell::new(0) };
 }
 
 /// A [`System`]-backed allocator that maintains the thread-local
@@ -57,6 +68,7 @@ impl CountingAlloc {
 
 #[inline]
 fn on_alloc(bytes: usize) {
+    ALLOC_COUNT.with(|n| n.set(n.get().wrapping_add(1)));
     LIVE_BYTES.with(|live| {
         let now = live.get().saturating_add(bytes as i64);
         live.set(now);
@@ -70,6 +82,7 @@ fn on_alloc(bytes: usize) {
 
 #[inline]
 fn on_dealloc(bytes: usize) {
+    DEALLOC_COUNT.with(|n| n.set(n.get().wrapping_add(1)));
     LIVE_BYTES.with(|live| live.set(live.get().saturating_sub(bytes as i64)));
 }
 
@@ -155,6 +168,32 @@ pub fn measure_peak<R>(f: impl FnOnce() -> R) -> (R, u64) {
     (result, delta)
 }
 
+/// Heap allocations performed by this thread since it started. A
+/// `realloc` counts as one allocation (and one deallocation); byte
+/// sizes are tracked separately by [`live_bytes`]/[`peak_bytes`].
+pub fn alloc_count() -> u64 {
+    ALLOC_COUNT.with(|n| n.get())
+}
+
+/// Heap deallocations performed by this thread since it started.
+pub fn dealloc_count() -> u64 {
+    DEALLOC_COUNT.with(|n| n.get())
+}
+
+/// Measures how many allocations `f` performs on this thread: the
+/// [`alloc_count`] delta across the call. Returns `(result, allocs)`;
+/// the count is 0 when no counting allocator is installed. Mirrors
+/// [`measure_peak`], but counts calls instead of bytes — the signal
+/// the steady-state (`allocs_per_event`) gate reads, where one retained
+/// warm buffer and one million recycled events look the same size-wise
+/// but differ by a million calls.
+pub fn measure_allocs<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    let start = alloc_count();
+    let result = f();
+    let allocs = alloc_count().wrapping_sub(start);
+    (result, allocs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,5 +209,14 @@ mod tests {
         let (value, delta) = measure_peak(|| vec![0u8; 1 << 20].len());
         assert_eq!(value, 1 << 20);
         assert_eq!(delta, 0);
+    }
+
+    #[test]
+    fn uninstalled_alloc_counts_read_dead() {
+        let (value, allocs) = measure_allocs(|| vec![0u8; 1 << 16].len());
+        assert_eq!(value, 1 << 16);
+        assert_eq!(allocs, 0);
+        assert_eq!(alloc_count(), 0);
+        assert_eq!(dealloc_count(), 0);
     }
 }

@@ -251,6 +251,14 @@ struct ReqState {
     done: bool,
     primary: Replica,
     clone: Option<Replica>,
+    /// Copies sent and not yet resolved (departed, cancelled, or shed).
+    /// The slot is recycled only once this hits zero after `done`, so a
+    /// pending Join always refers to a live request.
+    outstanding: u32,
+    /// Bumped when the slot is recycled; hedge timers carry the epoch
+    /// they were armed under and are ignored if it is stale (the timer
+    /// wheel has no cancellation).
+    epoch: u64,
 }
 
 #[derive(Debug)]
@@ -268,6 +276,7 @@ enum Ev {
     },
     HedgeFire {
         req: usize,
+        epoch: u64,
     },
     OutageStart,
     OutageEnd,
@@ -300,13 +309,61 @@ struct Engine<'a> {
     report: RunReport,
     timer_name: String,
     traced: bool,
+    /// Recycled `reqs` slots; keeps the live table at peak-concurrency
+    /// size instead of one entry per offered request.
+    free_reqs: Vec<usize>,
+    /// Reused per-dispatch snapshot of port depths.
+    depths_scratch: Vec<u64>,
 }
 
 impl Engine<'_> {
-    fn depths(&self) -> Vec<u64> {
-        (0..self.cfg.guests)
-            .map(|g| self.sw.queue_depth(guest_port(g)))
-            .collect()
+    fn refresh_depths(&mut self) {
+        let mut depths = std::mem::take(&mut self.depths_scratch);
+        depths.clear();
+        depths.extend((0..self.cfg.guests).map(|g| self.sw.queue_depth(guest_port(g))));
+        self.depths_scratch = depths;
+    }
+
+    /// Claims a request slot, reusing a settled one when available.
+    fn alloc_req(&mut self, now: SimTime) -> usize {
+        let blank = Replica {
+            guest: 0,
+            in_service: false,
+            lost: true,
+        };
+        match self.free_reqs.pop() {
+            Some(req) => {
+                let r = &mut self.reqs[req];
+                r.arrival = now;
+                r.done = false;
+                r.primary = blank;
+                r.clone = None;
+                r.outstanding = 0;
+                req
+            }
+            None => {
+                self.reqs.push(ReqState {
+                    arrival: now,
+                    done: false,
+                    primary: blank,
+                    clone: None,
+                    outstanding: 0,
+                    epoch: 0,
+                });
+                self.reqs.len() - 1
+            }
+        }
+    }
+
+    /// Returns a fully settled slot (done, no copy in flight or in
+    /// service) to the free list, invalidating any hedge timer still
+    /// pointing at it.
+    fn release_if_settled(&mut self, req: usize) {
+        let r = &mut self.reqs[req];
+        if r.done && r.outstanding == 0 {
+            r.epoch += 1;
+            self.free_reqs.push(req);
+        }
     }
 
     /// Sends one copy toward `guest`, scheduling its Join on delivery.
@@ -328,6 +385,7 @@ impl Engine<'_> {
         );
         match self.sw.forward(&packet, now) {
             Forwarded::Local(_, delivered) => {
+                self.reqs[req].outstanding += 1;
                 self.queue.schedule(
                     delivered + self.cfg.net_hop,
                     Ev::Join {
@@ -345,7 +403,7 @@ impl Engine<'_> {
     }
 
     fn on_arrival(&mut self, now: SimTime) {
-        let req = self.reqs.len();
+        let req = self.alloc_req(now);
         self.report.offered += 1;
         if self.traced {
             telemetry::counter("traffic.requests", 1);
@@ -357,21 +415,21 @@ impl Engine<'_> {
         let demand = self.cfg.service.sample(&mut self.svc_rng).as_nanos() as f64;
         match self.cfg.mode {
             DispatchMode::Single(_) => {
-                let depths = self.depths();
-                let guest = self.policy.pick(&depths, &mut self.dispatch_rng);
+                self.refresh_depths();
+                let guest = self
+                    .policy
+                    .pick(&self.depths_scratch, &mut self.dispatch_rng);
                 let ok = self.send_copy(req, guest, Role::Primary, demand, now);
-                self.reqs.push(ReqState {
-                    arrival: now,
-                    done: !ok,
-                    primary: Replica {
-                        guest,
-                        in_service: false,
-                        lost: !ok,
-                    },
-                    clone: None,
-                });
+                let r = &mut self.reqs[req];
+                r.done = !ok;
+                r.primary = Replica {
+                    guest,
+                    in_service: false,
+                    lost: !ok,
+                };
                 if !ok {
                     self.count_drop();
+                    self.release_if_settled(req);
                 }
             }
             DispatchMode::Clone => {
@@ -386,42 +444,43 @@ impl Engine<'_> {
                 let ok_a = self.send_copy(req, a, Role::Primary, demand, now);
                 let ok_b = self.send_copy(req, b, Role::Clone, clone_demand, now);
                 self.report.clones_sent += 1;
-                self.reqs.push(ReqState {
-                    arrival: now,
-                    done: !ok_a && !ok_b,
-                    primary: Replica {
-                        guest: a,
-                        in_service: false,
-                        lost: !ok_a,
-                    },
-                    clone: Some(Replica {
-                        guest: b,
-                        in_service: false,
-                        lost: !ok_b,
-                    }),
+                let r = &mut self.reqs[req];
+                r.done = !ok_a && !ok_b;
+                r.primary = Replica {
+                    guest: a,
+                    in_service: false,
+                    lost: !ok_a,
+                };
+                r.clone = Some(Replica {
+                    guest: b,
+                    in_service: false,
+                    lost: !ok_b,
                 });
                 if !ok_a && !ok_b {
                     self.count_drop();
+                    self.release_if_settled(req);
                 }
             }
             DispatchMode::Hedge { delay, .. } => {
-                let depths = self.depths();
-                let guest = self.policy.pick(&depths, &mut self.dispatch_rng);
+                self.refresh_depths();
+                let guest = self
+                    .policy
+                    .pick(&self.depths_scratch, &mut self.dispatch_rng);
                 let ok = self.send_copy(req, guest, Role::Primary, demand, now);
-                self.reqs.push(ReqState {
-                    arrival: now,
-                    done: !ok,
-                    primary: Replica {
-                        guest,
-                        in_service: false,
-                        lost: !ok,
-                    },
-                    clone: None,
-                });
+                let r = &mut self.reqs[req];
+                r.done = !ok;
+                r.primary = Replica {
+                    guest,
+                    in_service: false,
+                    lost: !ok,
+                };
                 if !ok {
                     self.count_drop();
+                    self.release_if_settled(req);
                 } else {
-                    self.queue.schedule(now + delay, Ev::HedgeFire { req });
+                    let epoch = self.reqs[req].epoch;
+                    self.queue
+                        .schedule(now + delay, Ev::HedgeFire { req, epoch });
                 }
             }
         }
@@ -441,6 +500,8 @@ impl Engine<'_> {
             // service. Release its queue slot exactly once here.
             self.sw.complete(guest_port(guest));
             self.count_cancel();
+            self.reqs[req].outstanding -= 1;
+            self.release_if_settled(req);
             return;
         }
         match role {
@@ -512,6 +573,7 @@ impl Engine<'_> {
             }
         };
         self.reqs[req].done = true;
+        self.reqs[req].outstanding -= 1;
         self.sw.complete(guest_port(winner_guest));
         let response = (now + self.cfg.net_hop).duration_since(arrival);
         self.report.completed += 1;
@@ -533,10 +595,7 @@ impl Engine<'_> {
         // will see `done` and release the slot instead. Either way the
         // copy is completed exactly once.
         if let Some(l) = loser {
-            if l.lost {
-                return;
-            }
-            if l.in_service {
+            if !l.lost && l.in_service {
                 let server = &mut self.servers[l.guest];
                 server.advance(now);
                 if let Some(pos) = server.position_of(req) {
@@ -544,14 +603,20 @@ impl Engine<'_> {
                     server.epoch += 1;
                     self.sw.complete(guest_port(l.guest));
                     self.count_cancel();
+                    self.reqs[req].outstanding -= 1;
                     self.reschedule(l.guest);
                 }
             }
         }
+        self.release_if_settled(req);
     }
 
-    fn on_hedge_fire(&mut self, req: usize, now: SimTime) {
-        if self.reqs[req].done {
+    fn on_hedge_fire(&mut self, req: usize, epoch: u64, now: SimTime) {
+        // A stale epoch means the slot was recycled by a newer request
+        // after this timer was armed; `done` catches the narrower case
+        // where the original request finished but its slot still waits
+        // on an in-flight loser.
+        if self.reqs[req].epoch != epoch || self.reqs[req].done {
             return;
         }
         self.report.hedge_fired += 1;
@@ -559,10 +624,10 @@ impl Engine<'_> {
             telemetry::counter("traffic.hedge_fired", 1);
         }
         let primary = self.reqs[req].primary.guest;
-        let depths = self.depths();
+        self.refresh_depths();
         let guest = self
             .policy
-            .pick_clone(primary, &depths, &mut self.hedge_rng);
+            .pick_clone(primary, &self.depths_scratch, &mut self.hedge_rng);
         let demand = self.cfg.service.sample(&mut self.hedge_rng).as_nanos() as f64;
         let ok = self.send_copy(req, guest, Role::Clone, demand, now);
         if ok {
@@ -628,7 +693,9 @@ pub fn run(cfg: &TrafficConfig, seed: u64) -> RunReport {
         queue: EventQueue::new(),
         sw,
         servers: (0..cfg.guests).map(|_| Server::new()).collect(),
-        reqs: Vec::with_capacity(cfg.requests as usize),
+        // Slot recycling keeps this at peak concurrency, not one entry
+        // per offered request.
+        reqs: Vec::new(),
         policy,
         svc_rng: SimRng::with_stream(seed, STREAM_SERVICE),
         dispatch_rng: SimRng::with_stream(seed, STREAM_DISPATCH),
@@ -652,6 +719,8 @@ pub fn run(cfg: &TrafficConfig, seed: u64) -> RunReport {
         },
         timer_name: format!("traffic.{label}.latency"),
         traced: telemetry::is_enabled(),
+        free_reqs: Vec::new(),
+        depths_scratch: Vec::new(),
     };
 
     if let Some(o) = &cfg.outage {
@@ -662,20 +731,26 @@ pub fn run(cfg: &TrafficConfig, seed: u64) -> RunReport {
     engine.queue.schedule(first, Ev::Arrival);
 
     let mut horizon = SimTime::ZERO;
-    while let Some((now, ev)) = engine.queue.pop() {
-        horizon = now;
-        match ev {
-            Ev::Arrival => engine.on_arrival(now),
-            Ev::Join {
-                req,
-                guest,
-                role,
-                demand,
-            } => engine.on_join(req, guest, role, demand, now),
-            Ev::Depart { guest, epoch } => engine.on_depart(guest, epoch, now),
-            Ev::HedgeFire { req } => engine.on_hedge_fire(req, now),
-            Ev::OutageStart => engine.on_outage(true, now),
-            Ev::OutageEnd => engine.on_outage(false, now),
+    // Drain whole ticks at a time through a reused scratch buffer;
+    // same-tick events scheduled mid-batch arrive in the next batch,
+    // exactly where a pop-per-event loop would deliver them.
+    let mut batch: Vec<(SimTime, Ev)> = Vec::new();
+    while engine.queue.pop_batch(&mut batch) > 0 {
+        for (now, ev) in batch.drain(..) {
+            horizon = now;
+            match ev {
+                Ev::Arrival => engine.on_arrival(now),
+                Ev::Join {
+                    req,
+                    guest,
+                    role,
+                    demand,
+                } => engine.on_join(req, guest, role, demand, now),
+                Ev::Depart { guest, epoch } => engine.on_depart(guest, epoch, now),
+                Ev::HedgeFire { req, epoch } => engine.on_hedge_fire(req, epoch, now),
+                Ev::OutageStart => engine.on_outage(true, now),
+                Ev::OutageEnd => engine.on_outage(false, now),
+            }
         }
     }
 

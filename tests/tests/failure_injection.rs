@@ -75,7 +75,9 @@ fn backend_failure_marks_device_needs_reset() {
         )
         .unwrap();
     dev.service(&mut board, &mut base, SimTime::ZERO).unwrap();
-    assert_eq!(dev.shadow(0).unwrap().inflight_guest_heads(), vec![head]);
+    let mut heads = Vec::new();
+    dev.shadow(0).unwrap().inflight_guest_heads_into(&mut heads);
+    assert_eq!(heads, vec![head]);
 
     // The backend process dies: the control plane latches needs-reset
     // and raises the config-change interrupt.
@@ -130,6 +132,7 @@ fn staging_exhaustion_backpressures_and_recovers() {
     let mut backend = Virtqueue::new(shadow.shadow_layout());
 
     let mut completed = Vec::new();
+    let mut scratch = Vec::new();
     for round in 0..6u64 {
         board
             .write(
@@ -154,7 +157,7 @@ fn staging_exhaustion_backpressures_and_recovers() {
             backend.push_used(&mut base, chain.head, 0).unwrap();
         }
         shadow
-            .sync_from_shadow(&mut board, &base, SimTime::from_micros(round))
+            .sync_from_shadow(&mut board, &base, SimTime::from_micros(round), &mut scratch)
             .unwrap();
         while driver.poll_used(&board).unwrap().is_some() {}
     }
@@ -169,7 +172,12 @@ fn staging_exhaustion_backpressures_and_recovers() {
             backend.push_used(&mut base, chain.head, 0).unwrap();
         }
         shadow
-            .sync_from_shadow(&mut board, &base, SimTime::from_micros(10 + extra))
+            .sync_from_shadow(
+                &mut board,
+                &base,
+                SimTime::from_micros(10 + extra),
+                &mut scratch,
+            )
             .unwrap();
         while driver.poll_used(&board).unwrap().is_some() {}
     }

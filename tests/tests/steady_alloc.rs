@@ -1,0 +1,104 @@
+//! The zero-allocation steady-state contract, end to end: with the
+//! counting allocator installed (as the `repro` binary installs it), a
+//! warmed timer wheel churns without touching the allocator at all, and
+//! a warmed experiment run stays under the allocs-per-event gate the
+//! bench harness enforces in CI.
+//!
+//! "Warmed" is the operative word: the first run of anything pays for
+//! slabs, histograms, and report buffers. The gate is about what
+//! happens after — the steady state the paper's sustained-load numbers
+//! come from — so every measurement here warms first and meters second,
+//! exactly as `repro bench` does (its alloc-metered run happens after
+//! the timing repeats).
+
+use bmhive_sim::{EventQueue, SimRng, SimTime};
+use bmhive_telemetry::alloc::{self, CountingAlloc};
+
+// Each integration test binary links its own allocator; this is the
+// same installation line the `repro` binary uses.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::system();
+
+/// One schedule/drain cycle against the wheel: a burst of randomly
+/// spread timers, drained in whole-tick batches through a reused
+/// scratch buffer.
+fn churn_cycle(
+    q: &mut EventQueue<u64>,
+    rng: &mut SimRng,
+    base: &mut u64,
+    scratch: &mut Vec<(SimTime, u64)>,
+) -> u64 {
+    for i in 0..64u64 {
+        let at = *base + 1 + rng.below(1 << 20);
+        q.schedule(SimTime::from_nanos(at), i);
+    }
+    let mut drained = 0u64;
+    while q.pop_batch(scratch) > 0 {
+        drained += scratch.len() as u64;
+        *base = scratch[0].0.as_nanos();
+    }
+    drained
+}
+
+#[test]
+fn warmed_timer_wheel_churns_with_zero_allocations() {
+    assert!(alloc::installed(), "the test binary installs CountingAlloc");
+    let mut q = EventQueue::new();
+    let mut rng = SimRng::with_stream(7, 0xA110C);
+    let mut base = 0u64;
+    let mut scratch = Vec::new();
+    // Warm-up: grow the slab, the front buffer, and the batch scratch
+    // to their steady-state footprint.
+    let mut drained = 0u64;
+    for _ in 0..200 {
+        drained += churn_cycle(&mut q, &mut rng, &mut base, &mut scratch);
+    }
+    assert_eq!(drained, 200 * 64, "warm-up must drain everything");
+    // Steady state: the slab free-list recycles every node, batches
+    // reuse the scratch, cascades relink in place. Not one allocation.
+    let (drained, allocs) = alloc::measure_allocs(|| {
+        let mut n = 0u64;
+        for _ in 0..5_000 {
+            n += churn_cycle(&mut q, &mut rng, &mut base, &mut scratch);
+        }
+        n
+    });
+    assert_eq!(drained, 5_000 * 64);
+    assert_eq!(
+        allocs, 0,
+        "a warmed wheel must not allocate: {allocs} allocations over 320k events"
+    );
+}
+
+#[test]
+fn warmed_fig1_run_stays_under_the_alloc_gate() {
+    // Pre-optimization, one fig1 run cost 154 allocations (hour-buffer
+    // collects and percentile clones) over 960k events. The PR's
+    // acceptance gate is a >= 50% cut; the slab wheel plus buffer
+    // reuse land far below it.
+    let _ = bmhive_bench::run_experiment("fig1", 1).expect("known id");
+    let (report, allocs) =
+        alloc::measure_allocs(|| bmhive_bench::run_experiment("fig1", 1).expect("known id"));
+    assert!(!report.is_empty());
+    assert!(
+        allocs <= 77,
+        "warmed fig1 run allocated {allocs} times (gate: 77, half the pre-PR 154)"
+    );
+}
+
+#[test]
+fn warmed_traffic_run_stays_under_the_alloc_gate() {
+    // Pre-optimization, traffic_policies cost 61,275 allocations over
+    // 231,314 events (0.26 per arrival: a depth snapshot per dispatch
+    // plus an ever-growing request table). Depth scratch + request
+    // slot recycling cut it to well under half.
+    let _ = bmhive_bench::run_experiment("traffic_policies", 1).expect("known id");
+    let (report, allocs) = alloc::measure_allocs(|| {
+        bmhive_bench::run_experiment("traffic_policies", 1).expect("known id")
+    });
+    assert!(!report.is_empty());
+    assert!(
+        allocs <= 30_000,
+        "warmed traffic_policies run allocated {allocs} times (gate: 30,000, half the pre-PR 61,275)"
+    );
+}

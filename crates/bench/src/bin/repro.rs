@@ -519,18 +519,27 @@ fn bench_main(args: &[String]) -> ExitCode {
     };
 
     println!(
-        "{:<10} | {:>12} | {:>10} | {:>14} | {:>12} | {:>10}",
-        "experiment", "wall ms", "events", "events/sec", "allocs/ev", "peak depth"
+        "{:<10} | {:>12} | {:>10} | {:>14} | {:>12} | {:>10} | {:>12} | {:>9}",
+        "experiment",
+        "wall ms",
+        "events",
+        "events/sec",
+        "allocs/ev",
+        "peak depth",
+        "suppressed",
+        "batch len"
     );
     for r in &report.results {
         println!(
-            "{:<10} | {:>12.3} | {:>10} | {:>14.0} | {:>12.4} | {:>10.1}",
+            "{:<10} | {:>12.3} | {:>10} | {:>14.0} | {:>12.4} | {:>10.1} | {:>12} | {:>9.2}",
             r.experiment,
             r.wall_ns as f64 / 1e6,
             r.events,
             r.events_per_sec,
             r.allocs_per_event,
-            r.peak_queue_depth
+            r.peak_queue_depth,
+            r.doorbells_suppressed,
+            r.mean_batch_len
         );
     }
     println!(

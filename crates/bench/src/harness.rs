@@ -47,6 +47,15 @@ pub struct ExperimentBench {
     /// the regression gate tracks. Deterministic per binary + seed —
     /// unlike wall time it needs no machine-speed normalization.
     pub allocs_per_event: f64,
+    /// Guest doorbells the PMD's published EVENT_IDX window swallowed
+    /// during the traced run, summed over every suppression site
+    /// (`bm.doorbells_suppressed`, `vswitch.doorbells_suppressed`, ...).
+    /// Deterministic per binary + seed.
+    pub doorbells_suppressed: u64,
+    /// Mean events drained per `BatchRunner` tick during the traced run
+    /// (`sim.batch_events / sim.batch_ticks`; 0 for experiments that
+    /// don't run a batched loop). Deterministic per binary + seed.
+    pub mean_batch_len: f64,
 }
 
 /// A full benchmark run.
@@ -107,6 +116,18 @@ pub fn run_bench(experiments: &[String], seed: u64, repeats: u32) -> Result<Benc
         } else {
             0.0
         };
+        let doorbells_suppressed = snap
+            .registry
+            .counters()
+            .filter(|(name, _)| name.ends_with("doorbells_suppressed"))
+            .map(|(_, v)| v)
+            .sum();
+        let batch_ticks = snap.registry.counter("sim.batch_ticks");
+        let mean_batch_len = if batch_ticks > 0 {
+            snap.registry.counter("sim.batch_events") as f64 / batch_ticks as f64
+        } else {
+            0.0
+        };
         results.push(ExperimentBench {
             experiment: id.clone(),
             wall_ns,
@@ -119,6 +140,8 @@ pub fn run_bench(experiments: &[String], seed: u64, repeats: u32) -> Result<Benc
             } else {
                 0.0
             },
+            doorbells_suppressed,
+            mean_batch_len,
         });
     }
     Ok(BenchReport {
@@ -148,7 +171,8 @@ impl BenchReport {
                 out,
                 "    {{\"experiment\": \"{}\", \"wall_ns\": {}, \"events\": {}, \
                  \"events_per_sec\": {:.1}, \"peak_queue_depth\": {:.1}, \
-                 \"allocs\": {}, \"allocs_per_event\": {:.4}}}{comma}",
+                 \"allocs\": {}, \"allocs_per_event\": {:.4}, \
+                 \"doorbells_suppressed\": {}, \"mean_batch_len\": {:.4}}}{comma}",
                 telemetry::export::json_escape(&r.experiment),
                 r.wall_ns,
                 r.events,
@@ -156,6 +180,8 @@ impl BenchReport {
                 r.peak_queue_depth,
                 r.allocs,
                 r.allocs_per_event,
+                r.doorbells_suppressed,
+                r.mean_batch_len,
             )
             .unwrap();
         }
@@ -193,6 +219,17 @@ impl BenchReport {
                 allocs: entry.get("allocs").and_then(Json::as_f64).unwrap_or(0.0) as u64,
                 allocs_per_event: entry
                     .get("allocs_per_event")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0),
+                // Absent in pre-batching baselines: default to zero,
+                // which disables the suppression and batch-length
+                // gates for that entry.
+                doorbells_suppressed: entry
+                    .get("doorbells_suppressed")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0) as u64,
+                mean_batch_len: entry
+                    .get("mean_batch_len")
                     .and_then(Json::as_f64)
                     .unwrap_or(0.0),
             });
@@ -314,6 +351,31 @@ impl BenchReport {
                     cur.allocs,
                     cur.events,
                 ));
+            } else if base.doorbells_suppressed > 0 && cur.doorbells_suppressed == 0 {
+                // Suppression gate: once an experiment demonstrates
+                // doorbell coalescing, losing it entirely means the
+                // EVENT_IDX high-water publication broke (every kick is
+                // being scheduled and priced again). Deterministic
+                // count, so no tolerance band — zero is the failure.
+                problems.push(format!(
+                    "{}: doorbell suppression disappeared (baseline suppressed {}, now 0)",
+                    base.experiment, base.doorbells_suppressed,
+                ));
+            } else if base.mean_batch_len > 0.0
+                && cur.mean_batch_len < base.mean_batch_len * (1.0 - tolerance)
+            {
+                // Batch-efficiency gate: the mean events drained per
+                // tick collapsing means the hot loop degenerated back
+                // toward one-pop-at-a-time dispatch. Deterministic per
+                // seed, but schedule shifts legitimately move it a
+                // little, so the relative tolerance applies.
+                problems.push(format!(
+                    "{}: mean batch length {:.2} fell more than {:.0}% below the baseline {:.2}",
+                    base.experiment,
+                    cur.mean_batch_len,
+                    tolerance * 100.0,
+                    base.mean_batch_len,
+                ));
             }
         }
         problems
@@ -418,6 +480,8 @@ mod tests {
                     peak_queue_depth: 4.0,
                     allocs: 1000,
                     allocs_per_event: 100.0,
+                    doorbells_suppressed: 50,
+                    mean_batch_len: 4.0,
                 })
                 .collect(),
         }
@@ -459,6 +523,11 @@ mod tests {
         assert!(
             (parsed.results[0].allocs_per_event - report.results[0].allocs_per_event).abs() < 1e-4
         );
+        assert_eq!(
+            parsed.results[0].doorbells_suppressed,
+            report.results[0].doorbells_suppressed
+        );
+        assert!((parsed.results[0].mean_batch_len - report.results[0].mean_batch_len).abs() < 1e-4);
     }
 
     #[test]
@@ -524,6 +593,41 @@ mod tests {
         let problems = current.check_against(&baseline, 0.25);
         assert_eq!(problems.len(), 1, "{problems:?}");
         assert!(problems[0].contains("allocs/event"), "{problems:?}");
+    }
+
+    #[test]
+    fn vanished_doorbell_suppression_is_flagged() {
+        let baseline = report(&[("a", 10_000_000)]);
+        let mut current = report(&[("a", 10_000_000)]);
+        current.results[0].doorbells_suppressed = 0;
+        let problems = current.check_against(&baseline, 0.25);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("suppression"), "{problems:?}");
+    }
+
+    #[test]
+    fn collapsed_batch_length_is_flagged_but_small_drift_is_not() {
+        let baseline = report(&[("a", 10_000_000)]);
+        let mut current = report(&[("a", 10_000_000)]);
+        // 4.0 -> 3.5 is drift within the 25% band; 4.0 -> 1.0 is the
+        // loop degenerating to single-pop dispatch.
+        current.results[0].mean_batch_len = 3.5;
+        assert!(current.check_against(&baseline, 0.25).is_empty());
+        current.results[0].mean_batch_len = 1.0;
+        let problems = current.check_against(&baseline, 0.25);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("batch length"), "{problems:?}");
+    }
+
+    #[test]
+    fn pre_batching_baseline_does_not_arm_the_new_gates() {
+        let mut baseline = report(&[("a", 10_000_000)]);
+        baseline.results[0].doorbells_suppressed = 0;
+        baseline.results[0].mean_batch_len = 0.0;
+        let mut current = report(&[("a", 10_000_000)]);
+        current.results[0].doorbells_suppressed = 0;
+        current.results[0].mean_batch_len = 0.0;
+        assert!(current.check_against(&baseline, 0.25).is_empty());
     }
 
     #[test]

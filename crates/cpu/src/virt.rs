@@ -99,6 +99,13 @@ impl ExitRatePopulation {
         rng.lognormal(self.mu, self.sigma)
     }
 
+    /// Fills `out` with one rate per VM — bit-identical to the same
+    /// number of [`Self::sample`] calls, minus the per-call overhead
+    /// (fleet censuses draw these by the million).
+    pub fn fill(&self, rng: &mut SimRng, out: &mut [f64]) {
+        rng.fill_lognormal(self.mu, self.sigma, out);
+    }
+
     /// Analytic tail probability P(rate > threshold).
     pub fn tail_probability(&self, threshold: f64) -> f64 {
         let z = (threshold.ln() - self.mu) / self.sigma;
@@ -232,6 +239,22 @@ impl PreemptionSampler {
         (self.sample(rng) * load).min(self.cap.max(1e-12))
     }
 
+    /// Fills `out` with one load-scaled fraction per VM — bit-identical
+    /// to the same number of [`Self::sample_at_load`] calls (a
+    /// degenerate model writes zeros without consuming the RNG, exactly
+    /// as its single-sample path never draws).
+    pub fn fill_at_load(&self, rng: &mut SimRng, load: f64, out: &mut [f64]) {
+        if self.degenerate {
+            out.fill(0.0);
+            return;
+        }
+        rng.fill_lognormal(self.ln_median, self.sigma, out);
+        let load_cap = self.cap.max(1e-12);
+        for v in out {
+            *v = (v.min(self.cap) * load).min(load_cap);
+        }
+    }
+
     /// Samples the fraction for a given hour of day.
     pub fn sample_at_hour(&self, rng: &mut SimRng, hour: u32) -> f64 {
         self.sample_at_load(rng, diurnal_load(hour))
@@ -242,6 +265,35 @@ impl PreemptionSampler {
 mod tests {
     use super::*;
     use bmhive_sim::stats::exact_percentile;
+
+    #[test]
+    fn bulk_fills_match_single_sample_streams_bit_for_bit() {
+        let pop = ExitRatePopulation::production();
+        let mut single = SimRng::with_stream(3, 0xce15);
+        let mut bulk = SimRng::with_stream(3, 0xce15);
+        let expect: Vec<f64> = (0..501).map(|_| pop.sample(&mut single)).collect();
+        let mut got = vec![0.0; 501];
+        pop.fill(&mut bulk, &mut got);
+        for (e, g) in expect.iter().zip(&got) {
+            assert_eq!(e.to_bits(), g.to_bits());
+        }
+
+        let sampler = PreemptionModel::shared().sampler();
+        let load = diurnal_load(14);
+        let expect: Vec<f64> = (0..501)
+            .map(|_| sampler.sample_at_load(&mut single, load))
+            .collect();
+        sampler.fill_at_load(&mut bulk, load, &mut got);
+        for (e, g) in expect.iter().zip(&got) {
+            assert_eq!(e.to_bits(), g.to_bits());
+        }
+
+        // Degenerate (bare-metal) sampler: zeros, no RNG consumed.
+        let zero = PreemptionModel::bare_metal().sampler();
+        zero.fill_at_load(&mut bulk, load, &mut got);
+        assert!(got.iter().all(|&v| v == 0.0));
+        assert_eq!(single.next_u64(), bulk.next_u64());
+    }
 
     #[test]
     fn kvm_exit_cost_is_10us_base() {

@@ -20,7 +20,6 @@ use bmhive_virtio::{
     BlkRequestHeader, BlkRequestType, BlkStatus, DescChain, DeviceType, Feature, QueueLayout,
     VirtioError, VirtioNetHeader, Virtqueue, VirtqueueDriver, VIRTIO_NET_HDR_LEN,
 };
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
@@ -37,6 +36,16 @@ pub enum SessionError {
     NoBuffers,
     /// The backend received a malformed request.
     BadRequest(&'static str),
+    /// A fault at `site` exhausted its retry budget during `op` without
+    /// clearing: the operation never went through and the device path
+    /// needs a reset. Surfaced per-op (the second half of the
+    /// partial-recovery contract) instead of stats-only attribution.
+    Escalated {
+        /// The fault site whose retry budget ran out.
+        site: FaultSite,
+        /// The session operation that observed the exhausted budget.
+        op: &'static str,
+    },
 }
 
 impl fmt::Display for SessionError {
@@ -45,6 +54,13 @@ impl fmt::Display for SessionError {
             SessionError::Virtio(e) => write!(f, "virtio failure: {e}"),
             SessionError::NoBuffers => write!(f, "guest buffer pool exhausted"),
             SessionError::BadRequest(why) => write!(f, "malformed request: {why}"),
+            SessionError::Escalated { site, op } => {
+                write!(
+                    f,
+                    "unrecovered fault at {} escalated during {op}",
+                    site.name()
+                )
+            }
         }
     }
 }
@@ -131,24 +147,46 @@ pub struct BmGuestSession {
     /// restarted backend process).
     next_base_region: GuestAddr,
     /// rx guest heads → their buffer slot, for reuse after delivery.
-    rx_posted: HashMap<u16, bmhive_mem::SgList>,
-    /// tx guest heads → their buffer slot.
-    tx_posted: HashMap<u16, bmhive_mem::SgList>,
-    /// blk guest heads → their buffer slots.
-    blk_posted: HashMap<u16, Vec<bmhive_mem::SgList>>,
+    /// Slab indexed by head (`None` = not posted).
+    rx_posted: Vec<Option<bmhive_mem::SgList>>,
+    /// tx guest heads → their buffer slot. Slab indexed by head.
+    tx_posted: Vec<Option<bmhive_mem::SgList>>,
+    /// blk guest heads → their buffer slots. Slab indexed by head
+    /// (empty = not posted); completed slots keep their capacity.
+    blk_posted: Vec<Vec<bmhive_mem::SgList>>,
     /// blk shadow-side completions pending backend processing:
     /// shadow head → store completion time.
     total_tx: u64,
     total_rx: u64,
     total_io: u64,
+    /// Guest kicks skipped because the post landed inside the PMD's
+    /// published EVENT_IDX poll window (the poller was going to see the
+    /// descriptors anyway — §3.4.2's polling discipline).
+    doorbells_suppressed: u64,
     /// Reused service-pass report (steady-state passes allocate nothing).
     svc_report: ServiceReport,
     /// Reused hdr+payload assembly buffer for net frames.
     frame_scratch: Vec<u8>,
+    /// Reused readable-segment list for blk chain assembly.
+    blk_readable: Vec<SgSegment>,
+    /// Reused writable-segment list for blk chain assembly.
+    blk_writable: Vec<SgSegment>,
+    /// Reused staging-slot list for blk chain assembly; swaps with the
+    /// `blk_posted` slab so capacities circulate instead of reallocating.
+    blk_slots: Vec<bmhive_mem::SgList>,
 }
 
 /// Size of one posted rx buffer (hdr + MTU frame).
 const RX_BUF: u32 = 2048;
+
+/// Surfaces a latched escalation from a device's last service pass as a
+/// per-op error.
+fn check_escalation(dev: &mut IoBondDevice, op: &'static str) -> Result<(), SessionError> {
+    match dev.take_escalation() {
+        Some(site) => Err(SessionError::Escalated { site, op }),
+        None => Ok(()),
+    }
+}
 
 impl BmGuestSession {
     /// Builds a powered-on, handshaken guest: queues of `queue_size`
@@ -209,6 +247,13 @@ impl BmGuestSession {
             .state_mut()
             .driver_handshake(&[blk_layout]);
 
+        // The deployed backend discipline is poll-mode (§3.4.2): its
+        // shadow queues publish a ring-wide EVENT_IDX window, so guest
+        // kicks that land mid-scan are suppressed at the source.
+        let window = crate::pmd::BackendMode::PollMode.event_idx_window(queue_size);
+        net_dev.set_event_idx_window(window);
+        blk_dev.set_event_idx_window(window);
+
         // Shadow rings + staging pools in the backend's base RAM.
         let net_base = GuestAddr::new(0x100_000);
         let used = net_dev.activate(&mut base, net_base).expect("net activate");
@@ -255,14 +300,18 @@ impl BmGuestSession {
             blk_pool,
             limits,
             next_base_region,
-            rx_posted: HashMap::new(),
-            tx_posted: HashMap::new(),
-            blk_posted: HashMap::new(),
+            rx_posted: (0..queue_size).map(|_| None).collect(),
+            tx_posted: (0..queue_size).map(|_| None).collect(),
+            blk_posted: (0..queue_size).map(|_| Vec::new()).collect(),
             total_tx: 0,
             total_rx: 0,
             total_io: 0,
+            doorbells_suppressed: 0,
             svc_report: ServiceReport::default(),
             frame_scratch: Vec::new(),
+            blk_readable: Vec::new(),
+            blk_writable: Vec::new(),
+            blk_slots: Vec::new(),
         };
         session.replenish_rx().expect("initial rx buffers");
         session
@@ -281,6 +330,11 @@ impl BmGuestSession {
     /// Packets sent / received / block ops completed so far.
     pub fn counters(&self) -> (u64, u64, u64) {
         (self.total_tx, self.total_rx, self.total_io)
+    }
+
+    /// Guest kicks suppressed by the PMD's EVENT_IDX window so far.
+    pub fn doorbells_suppressed(&self) -> u64 {
+        self.doorbells_suppressed
     }
 
     /// Register accesses a full virtio re-handshake costs per device:
@@ -376,9 +430,10 @@ impl BmGuestSession {
             let Some(buf) = self.rx_pool.alloc(u64::from(RX_BUF)) else {
                 break;
             };
-            let segs: Vec<SgSegment> = buf.segments().to_vec();
-            let head = self.net_rx_driver.add_buf(&mut self.board, &[], &segs)?;
-            self.rx_posted.insert(head, buf);
+            let head = self
+                .net_rx_driver
+                .add_buf(&mut self.board, &[], buf.segments())?;
+            self.rx_posted[usize::from(head)] = Some(buf);
         }
         Ok(())
     }
@@ -412,15 +467,28 @@ impl BmGuestSession {
         bytes.extend_from_slice(payload);
         buf.scatter(&mut self.board, &bytes)?;
         self.frame_scratch = bytes;
+        let old_avail = self.net_tx_driver.avail_idx();
         let head = self
             .net_tx_driver
             .add_buf(&mut self.board, buf.segments(), &[])?;
-        self.tx_posted.insert(head, buf);
+        self.tx_posted[usize::from(head)] = Some(buf);
 
         // Kick: one PCI write across the guest link (fault-aware: a
-        // link flap stalls the kick, a spike stretches it).
-        let kicked = now + self.profile.guest_link().register_access_at(now);
-        self.net_dev.function_mut().state_mut(); // (doorbell recorded below through service)
+        // link flap stalls the kick, a spike stretches it) — unless the
+        // post landed inside the PMD's published EVENT_IDX window, in
+        // which case the doorbell is suppressed and costs nothing.
+        let kicked = if self
+            .net_tx_driver
+            .kick_needed_event_idx(&self.board, old_avail)?
+        {
+            now + self.profile.guest_link().register_access_at(now)
+        } else {
+            self.doorbells_suppressed += 1;
+            if telemetry::is_enabled() {
+                telemetry::counter("bm.doorbells_suppressed", 1);
+            }
+            now
+        };
 
         // IO-Bond syncs the chain into the shadow ring.
         self.net_dev.service_into(
@@ -429,30 +497,39 @@ impl BmGuestSession {
             kicked,
             &mut self.svc_report,
         )?;
+        check_escalation(&mut self.net_dev, "net_send")?;
         let synced_at = self.svc_report.tx[TX_Q].done_at;
 
         // Backend PMD sees the head register move (one base-side
         // register read through the mailbox: a mailbox stall blocks the
         // poll) and consumes the shadow chain.
-        let seen = synced_at
-            + self
-                .net_dev
-                .shadow(TX_Q)
-                .expect("activated")
-                .register_poll_at(synced_at);
+        let (poll_cost, poll_escalated) = self
+            .net_dev
+            .shadow(TX_Q)
+            .expect("activated")
+            .register_poll_recovery_at(synced_at);
+        if poll_escalated {
+            return Err(SessionError::Escalated {
+                site: FaultSite::Mailbox,
+                op: "net_send",
+            });
+        }
+        let seen = synced_at + poll_cost;
         let chain = self
             .net_tx_backend
             .pop_avail(&self.base)?
             .ok_or(SessionError::BadRequest(
                 "tx chain missing from shadow ring",
             ))?;
-        let frame = chain.readable.gather(&self.base)?;
+        let mut frame = std::mem::take(&mut self.frame_scratch);
+        chain.readable.gather_into(&self.base, &mut frame)?;
         if frame.len() < VIRTIO_NET_HDR_LEN as usize {
             return Err(SessionError::BadRequest(
                 "frame shorter than virtio-net header",
             ));
         }
         let payload_out = frame[VIRTIO_NET_HDR_LEN as usize..].to_vec();
+        self.frame_scratch = frame;
         let packet = Packet::new(self.mac, dst, kind, payload_out.len() as u32, self.total_tx);
 
         // Rate limiting at the backend (identical for vm-guests).
@@ -468,6 +545,7 @@ impl BmGuestSession {
             admitted,
             &mut self.svc_report,
         )?;
+        check_escalation(&mut self.net_dev, "net_send")?;
         let done = self
             .svc_report
             .completions
@@ -476,7 +554,7 @@ impl BmGuestSession {
             .unwrap_or(admitted);
         // Guest reaps and frees the buffer.
         while let Some((head, _)) = self.net_tx_driver.poll_used(&self.board)? {
-            if let Some(buf) = self.tx_posted.remove(&head) {
+            if let Some(buf) = self.tx_posted[usize::from(head)].take() {
                 self.tx_pool.free(&buf);
             }
         }
@@ -548,6 +626,7 @@ impl BmGuestSession {
         // ring.
         self.net_dev
             .service_into(&mut self.board, &mut self.base, now, &mut self.svc_report)?;
+        check_escalation(&mut self.net_dev, "net_receive")?;
         let chain = self
             .net_rx_backend
             .pop_avail(&self.base)?
@@ -566,6 +645,7 @@ impl BmGuestSession {
         // IO-Bond copies back and interrupts the guest.
         self.net_dev
             .service_into(&mut self.board, &mut self.base, now, &mut self.svc_report)?;
+        check_escalation(&mut self.net_dev, "net_receive")?;
         let done = self
             .svc_report
             .completions
@@ -578,14 +658,17 @@ impl BmGuestSession {
         while let Some((head, len)) = self.net_rx_driver.poll_used(&self.board)? {
             let buf = self
                 .rx_posted
-                .remove(&head)
+                .get_mut(usize::from(head))
+                .and_then(Option::take)
                 .ok_or(SessionError::BadRequest("unknown rx head"))?;
-            let data = buf.gather(&self.board)?;
-            let data = data[..len as usize].to_vec();
-            if data.len() < VIRTIO_NET_HDR_LEN as usize {
+            let mut data = std::mem::take(&mut self.frame_scratch);
+            buf.gather_into(&self.board, &mut data)?;
+            let len = len as usize;
+            if len < VIRTIO_NET_HDR_LEN as usize || len > data.len() {
                 return Err(SessionError::BadRequest("rx frame shorter than header"));
             }
-            delivered = Some(data[VIRTIO_NET_HDR_LEN as usize..].to_vec());
+            delivered = Some(data[VIRTIO_NET_HDR_LEN as usize..len].to_vec());
+            self.frame_scratch = data;
             self.rx_pool.free(&buf);
         }
         self.replenish_rx()?;
@@ -633,9 +716,16 @@ impl BmGuestSession {
         let hdr_buf = self.blk_pool.alloc(16).ok_or(SessionError::NoBuffers)?;
         let hdr = BlkRequestHeader::new(req, sector);
         hdr_buf.scatter(&mut self.board, &hdr.to_bytes())?;
-        let mut readable: Vec<SgSegment> = hdr_buf.segments().to_vec();
-        let mut writable: Vec<SgSegment> = Vec::new();
-        let mut slots = vec![hdr_buf];
+        // Assemble the chain in the reused scratch lists (steady-state
+        // requests allocate nothing here).
+        let mut readable = std::mem::take(&mut self.blk_readable);
+        readable.clear();
+        readable.extend_from_slice(hdr_buf.segments());
+        let mut writable = std::mem::take(&mut self.blk_writable);
+        writable.clear();
+        let mut slots = std::mem::take(&mut self.blk_slots);
+        slots.clear();
+        slots.push(hdr_buf);
 
         let is_read = matches!(req, BlkRequestType::In);
         if is_read && read_len > 0 {
@@ -658,27 +748,51 @@ impl BmGuestSession {
         writable.extend_from_slice(status_buf.segments());
         slots.push(status_buf);
 
+        let old_avail = self.blk_driver.avail_idx();
         let head = self
             .blk_driver
             .add_buf(&mut self.board, &readable, &writable)?;
-        self.blk_posted.insert(head, slots);
+        std::mem::swap(&mut self.blk_posted[usize::from(head)], &mut slots);
+        debug_assert!(slots.is_empty(), "blk slab slot reused while posted");
+        self.blk_slots = slots;
+        self.blk_readable = readable;
+        self.blk_writable = writable;
 
         // Kick + sync to shadow (kick and PMD poll both take the
-        // fault-aware register paths).
-        let kicked = now + self.profile.guest_link().register_access_at(now);
+        // fault-aware register paths). A post inside the PMD's
+        // published EVENT_IDX window suppresses the kick entirely.
+        let kicked = if self
+            .blk_driver
+            .kick_needed_event_idx(&self.board, old_avail)?
+        {
+            now + self.profile.guest_link().register_access_at(now)
+        } else {
+            self.doorbells_suppressed += 1;
+            if telemetry::is_enabled() {
+                telemetry::counter("bm.doorbells_suppressed", 1);
+            }
+            now
+        };
         self.blk_dev.service_into(
             &mut self.board,
             &mut self.base,
             kicked,
             &mut self.svc_report,
         )?;
+        check_escalation(&mut self.blk_dev, "blk_request")?;
         let synced_at = self.svc_report.tx[0].done_at;
-        let synced = synced_at
-            + self
-                .blk_dev
-                .shadow(0)
-                .expect("activated")
-                .register_poll_at(synced_at);
+        let (poll_cost, poll_escalated) = self
+            .blk_dev
+            .shadow(0)
+            .expect("activated")
+            .register_poll_recovery_at(synced_at);
+        if poll_escalated {
+            return Err(SessionError::Escalated {
+                site: FaultSite::Mailbox,
+                op: "blk_request",
+            });
+        }
+        let synced = synced_at + poll_cost;
 
         // Backend: parse, rate-limit, execute on the store.
         let chain = self
@@ -698,6 +812,7 @@ impl BmGuestSession {
             io_done,
             &mut self.svc_report,
         )?;
+        check_escalation(&mut self.blk_dev, "blk_request")?;
         let done = self
             .svc_report
             .completions
@@ -708,14 +823,22 @@ impl BmGuestSession {
         // Guest reaps: read status byte and data.
         let mut result = (BlkStatus::IoErr, Vec::new());
         while let Some((h, _len)) = self.blk_driver.poll_used(&self.board)? {
-            let slots = self
+            let mut slots = std::mem::take(&mut self.blk_slots);
+            let posted = self
                 .blk_posted
-                .remove(&h)
+                .get_mut(usize::from(h))
                 .ok_or(SessionError::BadRequest("unknown blk head"))?;
+            std::mem::swap(posted, &mut slots);
+            if slots.is_empty() {
+                return Err(SessionError::BadRequest("unknown blk head"));
+            }
             // Last slot is the status byte; for reads the middle slot is
             // the data.
             let status_slot = slots.last().expect("status slot");
-            let status_byte = status_slot.gather(&self.board)?[0];
+            let mut status = std::mem::take(&mut self.frame_scratch);
+            status_slot.gather_into(&self.board, &mut status)?;
+            let status_byte = status[0];
+            self.frame_scratch = status;
             let data_out = if is_read && slots.len() == 3 {
                 slots[1].gather(&self.board)?
             } else {
@@ -725,6 +848,8 @@ impl BmGuestSession {
             for slot in &slots {
                 self.blk_pool.free(slot);
             }
+            slots.clear();
+            self.blk_slots = slots;
         }
         self.total_io += 1;
         if telemetry::is_enabled() {
@@ -777,12 +902,15 @@ impl BmGuestSession {
         chain: &DescChain,
         now: SimTime,
     ) -> Result<(BlkStatus, u32, SimTime), SessionError> {
-        let readable = chain.readable.gather(&self.base)?;
+        let mut readable = std::mem::take(&mut self.frame_scratch);
+        chain.readable.gather_into(&self.base, &mut readable)?;
         if readable.len() < 16 {
+            self.frame_scratch = readable;
             return Err(SessionError::BadRequest("blk header too short"));
         }
         let hdr = BlkRequestHeader::from_bytes(&readable);
-        let data_in = &readable[16..];
+        let data_in_len = readable.len() as u64 - 16;
+        self.frame_scratch = readable;
         let writable_len = chain.writable.total_len();
         if writable_len == 0 {
             return Err(SessionError::BadRequest("blk chain lacks status byte"));
@@ -794,18 +922,21 @@ impl BmGuestSession {
                 let admitted = self.limits.admit_io(data_out_len, now);
                 let io = store.submit(IoKind::Read, data_out_len, admitted);
                 // Synthesize deterministic volume contents: sector-seeded
-                // bytes, so reads are verifiable.
-                let mut bytes: Vec<u8> = Vec::with_capacity(data_out_len as usize);
+                // bytes, so reads are verifiable (assembled in the reused
+                // frame buffer).
+                let mut bytes = std::mem::take(&mut self.frame_scratch);
+                bytes.clear();
                 for i in 0..data_out_len {
                     bytes.push((hdr.sector.wrapping_add(i) % 251) as u8);
                 }
                 bytes.push(BlkStatus::Ok.to_wire());
                 let written = chain.writable.scatter(&mut self.base, &bytes)?;
+                self.frame_scratch = bytes;
                 Ok((BlkStatus::Ok, written as u32, io.complete_at))
             }
             BlkRequestType::Out => {
-                let admitted = self.limits.admit_io(data_in.len() as u64, now);
-                let io = store.submit(IoKind::Write, data_in.len() as u64, admitted);
+                let admitted = self.limits.admit_io(data_in_len, now);
+                let io = store.submit(IoKind::Write, data_in_len, admitted);
                 let (_, status_sg) = chain.writable.split_at(data_out_len);
                 status_sg.scatter(&mut self.base, &[BlkStatus::Ok.to_wire()])?;
                 Ok((BlkStatus::Ok, 1, io.complete_at))
@@ -996,6 +1127,28 @@ mod tests {
     }
 
     #[test]
+    fn pmd_window_suppresses_every_kick_after_the_first() {
+        let mut s = session();
+        let mut store = BlockStore::new(StorageClass::LocalSsd, 7);
+        let mut t = SimTime::ZERO;
+        // First op on each device kicks (fresh ring, avail_event = 0);
+        // once the PMD has scanned and published its window, every
+        // later post is kick-free.
+        for i in 0..10u64 {
+            let (_, timing) = s
+                .net_send(MacAddr::for_guest(2), PacketKind::Udp, b"payload", t)
+                .unwrap();
+            t = timing.completed;
+            let (_, _, timing) = s
+                .blk_request(&mut store, BlkRequestType::In, i, &[], 512, t)
+                .unwrap();
+            t = timing.completed;
+        }
+        // 20 ops, 2 first-kicks: 18 suppressed.
+        assert_eq!(s.doorbells_suppressed(), 18);
+    }
+
+    #[test]
     fn poll_faults_is_inert_without_a_plan() {
         let mut s = session();
         assert!(s.poll_faults(SimTime::from_micros(500)).unwrap().is_none());
@@ -1052,6 +1205,71 @@ mod tests {
         assert_eq!(stats.resets.get("board").copied().unwrap_or(0), 2);
         assert!(stats.replayed.get("board").copied().unwrap_or(0) >= 60);
         assert!(stats.all_recovered());
+    }
+
+    #[test]
+    fn unrecoverable_mailbox_stall_escalates_net_send() {
+        let mut s = session();
+        // A 5 ms stall outlasts the whole 16-attempt backoff budget
+        // (worst case ≈ 1 ms): the PMD poll never goes through.
+        let mut plan = faults::FaultPlan::new("mailbox-wedge");
+        plan.push(faults::FaultEvent::window(
+            SimTime::from_micros(100),
+            FaultSite::Mailbox,
+            FaultKind::MailboxStall,
+            SimDuration::from_millis(5),
+        ));
+        faults::arm(plan, 3);
+        let err = s
+            .net_send(
+                MacAddr::for_guest(2),
+                PacketKind::Udp,
+                b"wedged",
+                SimTime::from_micros(200),
+            )
+            .unwrap_err();
+        match err {
+            SessionError::Escalated { site, op } => {
+                assert_eq!(site, FaultSite::Mailbox);
+                assert_eq!(op, "net_send");
+            }
+            other => panic!("expected escalation, got {other}"),
+        }
+        let stats = faults::disarm().expect("stats");
+        assert!(!stats.all_recovered());
+        assert!(stats.escalated_ops.contains_key("mailbox/head_tail"));
+    }
+
+    #[test]
+    fn unrecoverable_dma_timeout_escalates_blk_request() {
+        let mut s = session();
+        let mut store = BlockStore::new(StorageClass::CloudSsd, 5);
+        let mut plan = faults::FaultPlan::new("dma-wedge");
+        plan.push(faults::FaultEvent::window(
+            SimTime::from_micros(50),
+            FaultSite::Dma,
+            FaultKind::DmaTimeout,
+            SimDuration::from_millis(8),
+        ));
+        faults::arm(plan, 9);
+        let err = s
+            .blk_request(
+                &mut store,
+                BlkRequestType::Out,
+                4,
+                &[1, 2, 3, 4],
+                0,
+                SimTime::from_micros(100),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SessionError::Escalated {
+                site: FaultSite::Dma,
+                op: "blk_request",
+            }
+        ));
+        faults::disarm();
     }
 
     #[test]

@@ -64,6 +64,20 @@ impl BackendMode {
     pub fn added_latency(self, batch: u32) -> SimDuration {
         self.detection_latency() + self.per_request_cpu(batch)
     }
+
+    /// The EVENT_IDX poll window this discipline publishes as its
+    /// `avail_event` high-water mark after each rescan. A poll-mode
+    /// backend covers the whole ring — its scan loop sees every
+    /// descriptor the driver can post, so a doorbell only ever wakes an
+    /// idle poller and every mid-scan kick is suppressed. Interrupt
+    /// mode keeps the window at 1: every publish must raise the
+    /// doorbell, because nobody is looking otherwise.
+    pub fn event_idx_window(self, queue_size: u16) -> u16 {
+        match self {
+            BackendMode::PollMode => queue_size.max(1),
+            BackendMode::InterruptMode => 1,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -96,6 +110,13 @@ mod tests {
                     < BackendMode::InterruptMode.per_request_cpu(batch)
             );
         }
+    }
+
+    #[test]
+    fn poll_mode_window_covers_the_ring_interrupt_mode_does_not() {
+        assert_eq!(BackendMode::PollMode.event_idx_window(256), 256);
+        assert_eq!(BackendMode::PollMode.event_idx_window(0), 1);
+        assert_eq!(BackendMode::InterruptMode.event_idx_window(256), 1);
     }
 
     #[test]

@@ -53,6 +53,9 @@ pub struct IoBondDevice {
     /// Staging configuration used when queues activate.
     staging_slots_per_queue: u32,
     staging_slot_size: u32,
+    /// EVENT_IDX poll window applied to every shadow queue on
+    /// activation (None = each queue's default: its full ring).
+    event_window: Option<u16>,
     /// Reused per-queue completion buffer for service passes.
     completion_scratch: Vec<GuestCompletion>,
 }
@@ -111,7 +114,19 @@ impl IoBondDevice {
             pci_time: SimDuration::ZERO,
             staging_slots_per_queue: 4 * u32::from(max_queue_size),
             staging_slot_size: Self::DEFAULT_SLOT_SIZE,
+            event_window: None,
             completion_scratch: Vec::new(),
+        }
+    }
+
+    /// Sets the EVENT_IDX poll window the backend discipline publishes
+    /// (see [`ShadowQueue::set_event_window`]). Applies to already-built
+    /// shadow queues and to every future activation (recovery epochs
+    /// keep the discipline).
+    pub fn set_event_idx_window(&mut self, window: u16) {
+        self.event_window = Some(window.max(1));
+        for shadow in self.shadows.iter_mut().flatten() {
+            shadow.set_event_window(window);
         }
     }
 
@@ -193,13 +208,12 @@ impl IoBondDevice {
                 self.staging_slot_size,
             );
             cursor = pool_base + pool.footprint();
-            *slot = Some(ShadowQueue::new(
-                self.profile,
-                guest_layout,
-                shadow_layout,
-                pool,
-                base,
-            )?);
+            let mut shadow =
+                ShadowQueue::new(self.profile, guest_layout, shadow_layout, pool, base)?;
+            if let Some(window) = self.event_window {
+                shadow.set_event_window(window);
+            }
+            *slot = Some(shadow);
         }
         Ok(cursor - base_region)
     }
@@ -293,6 +307,17 @@ impl IoBondDevice {
     /// Borrows queue `q`'s shadow pairing (None before activation).
     pub fn shadow(&self, q: usize) -> Option<&ShadowQueue> {
         self.shadows.get(q).and_then(|s| s.as_ref())
+    }
+
+    /// Takes the first latched escalation (a retry budget exhausted
+    /// during a service pass) from any of this device's shadow queues.
+    /// Callers check this after a pass and surface the failure per-op
+    /// instead of leaving it as stats-only attribution.
+    pub fn take_escalation(&mut self) -> Option<FaultSite> {
+        self.shadows
+            .iter_mut()
+            .flatten()
+            .find_map(ShadowQueue::take_escalation)
     }
 
     /// One full service pass, as IO-Bond's logic runs it continuously:

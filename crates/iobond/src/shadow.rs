@@ -89,6 +89,16 @@ pub struct ShadowQueue {
     dma_busy: SimDuration,
     head_reg: u64,
     tail_reg: u64,
+    /// EVENT_IDX poll window: after each scan the device publishes
+    /// `avail_event = last_seen_avail + window - 1` into the guest ring,
+    /// telling the driver "my poll loop will see anything you post
+    /// within this window — don't kick". A poll-mode backend uses the
+    /// whole ring; an interrupt-mode backend uses 1 (every publish
+    /// kicks).
+    event_window: u16,
+    /// Latched escalation: a retry budget exhausted during a sync pass,
+    /// pending pickup by [`take_escalation`](Self::take_escalation).
+    escalated: Option<FaultSite>,
 }
 
 impl ShadowQueue {
@@ -134,7 +144,30 @@ impl ShadowQueue {
             dma_busy: SimDuration::ZERO,
             head_reg: 0,
             tail_reg: 0,
+            event_window: shadow_layout.size,
+            escalated: None,
         })
+    }
+
+    /// An unrecovered (escalated) fault observed since the last
+    /// [`take_escalation`](Self::take_escalation): the retry budget at
+    /// that site was exhausted while the window still covered the
+    /// operation, so the device path must treat it as needing a reset.
+    pub fn take_escalation(&mut self) -> Option<FaultSite> {
+        self.escalated.take()
+    }
+
+    /// Sets the EVENT_IDX poll window published after each scan (see
+    /// the `event_window` field). Defaults to the full queue size — the
+    /// deployed poll-mode discipline, where a doorbell only ever wakes
+    /// an idle poller.
+    pub fn set_event_window(&mut self, window: u16) {
+        self.event_window = window.max(1);
+    }
+
+    /// The EVENT_IDX poll window currently published to the driver.
+    pub fn event_window(&self) -> u16 {
+        self.event_window
     }
 
     /// The shadow ring's layout in base RAM (the bm-hypervisor builds its
@@ -164,21 +197,31 @@ impl ShadowQueue {
     /// retry loop outwaits it, and an active mailbox latency factor
     /// stretches the access itself.
     pub fn register_poll_at(&self, now: SimTime) -> SimDuration {
+        self.register_poll_recovery_at(now).0
+    }
+
+    /// Like [`register_poll_at`](Self::register_poll_at), also
+    /// reporting whether the bounded-backoff loop exhausted its budget
+    /// without the stall clearing (`true` = escalated: the poll never
+    /// went through and the device path must reset).
+    pub fn register_poll_recovery_at(&self, now: SimTime) -> (SimDuration, bool) {
         let base = self.profile.base_register_access();
         if !faults::is_armed() {
-            return base;
+            return (base, false);
         }
         let mut total = SimDuration::ZERO;
+        let mut escalated = false;
         if faults::blocking_until(FaultSite::Mailbox, now).is_some() {
             let recovery = faults::retry_until_clear(FaultSite::Mailbox, "head_tail", now, base);
             total += recovery.waited;
+            escalated = !recovery.recovered;
         }
         let factor = faults::latency_factor(FaultSite::Mailbox, now + total);
         let access = base.mul_f64(factor);
         if factor > 1.0 {
             faults::note_degraded(FaultSite::Mailbox, access - base);
         }
-        total + access
+        (total + access, escalated)
     }
 
     /// Chains currently in flight (posted to shadow, not yet completed).
@@ -337,6 +380,9 @@ impl ShadowQueue {
                     now + timeout,
                     self.profile.dma().transfer_time(r_len),
                 );
+                if !recovery.recovered {
+                    self.escalated = Some(FaultSite::Dma);
+                }
                 now += timeout + recovery.waited;
             }
             let (n, cost) = self
@@ -417,6 +463,9 @@ impl ShadowQueue {
                         dma_free + timeout,
                         self.profile.dma().transfer_time(u64::from(written)),
                     );
+                    if !recovery.recovered {
+                        self.escalated = Some(FaultSite::Dma);
+                    }
                     dma_free += timeout + recovery.waited;
                 }
                 // Copy only the bytes the backend produced. When the
@@ -472,6 +521,18 @@ impl ShadowQueue {
                 at: finish,
             });
         }
+        // Publish the EVENT_IDX high-water mark (§2.6.7.2): the poll
+        // loop has seen everything up to `last_avail_idx`, and the next
+        // rescan will catch anything posted within `event_window` of it
+        // — so kicks inside that window are pure overhead and the
+        // driver suppresses them. Written into the used-ring tail, the
+        // device-owned half of the guest ring, like any PMD would.
+        let high_water = self
+            .guest_vq
+            .last_avail_idx()
+            .wrapping_add(self.event_window)
+            .wrapping_sub(1);
+        self.guest_vq.set_avail_event(board, high_water)?;
         if !out.is_empty() && telemetry::is_enabled() {
             let last = out.iter().map(|c| c.at).max().unwrap_or(now);
             telemetry::span_with(
@@ -833,6 +894,68 @@ mod tests {
         let stats = faults::disarm().unwrap();
         assert!(stats.injected.contains_key("mailbox/mailbox-stall"));
         assert_eq!(stats.recovered.get("mailbox"), Some(&1));
+    }
+
+    #[test]
+    fn event_idx_high_water_suppresses_mid_poll_kicks() {
+        let mut r = rig(8, 16);
+        // Fresh ring: avail_event is 0, so the very first publish must
+        // kick (need_event(0, 1, 0) holds).
+        let old = r.guest_driver.avail_idx();
+        r.board.write(GuestAddr::new(0x8000), b"first").unwrap();
+        r.guest_driver
+            .add_buf(
+                &mut r.board,
+                &[SgSegment::new(GuestAddr::new(0x8000), 5)],
+                &[],
+            )
+            .unwrap();
+        assert!(r.guest_driver.kick_needed_event_idx(&r.board, old).unwrap());
+        // One full service pass: scan + publish the high-water mark.
+        r.shadow
+            .sync_to_shadow(&r.board, &mut r.base, SimTime::ZERO)
+            .unwrap();
+        r.shadow
+            .sync_from_shadow(&mut r.board, &r.base, SimTime::ZERO, &mut Vec::new())
+            .unwrap();
+        // Every post that lands inside the poll window is now
+        // kick-free: the PMD was going to see the descriptors anyway.
+        for i in 0..4u64 {
+            let old = r.guest_driver.avail_idx();
+            r.board
+                .write(GuestAddr::new(0x8100 + i * 0x100), b"next")
+                .unwrap();
+            r.guest_driver
+                .add_buf(
+                    &mut r.board,
+                    &[SgSegment::new(GuestAddr::new(0x8100 + i * 0x100), 4)],
+                    &[],
+                )
+                .unwrap();
+            assert!(
+                !r.guest_driver.kick_needed_event_idx(&r.board, old).unwrap(),
+                "post {i} inside the poll window still wanted a kick"
+            );
+        }
+        // An interrupt-mode window of 1 re-enables kicks on the next
+        // publish after a scan.
+        r.shadow.set_event_window(1);
+        r.shadow
+            .sync_to_shadow(&r.board, &mut r.base, SimTime::ZERO)
+            .unwrap();
+        r.shadow
+            .sync_from_shadow(&mut r.board, &r.base, SimTime::ZERO, &mut Vec::new())
+            .unwrap();
+        let old = r.guest_driver.avail_idx();
+        r.board.write(GuestAddr::new(0x9000), b"irq").unwrap();
+        r.guest_driver
+            .add_buf(
+                &mut r.board,
+                &[SgSegment::new(GuestAddr::new(0x9000), 3)],
+                &[],
+            )
+            .unwrap();
+        assert!(r.guest_driver.kick_needed_event_idx(&r.board, old).unwrap());
     }
 
     #[test]

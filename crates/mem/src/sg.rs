@@ -168,11 +168,29 @@ impl SgList {
     /// Returns [`MemError::OutOfBounds`] if any segment exceeds the
     /// memory size.
     pub fn gather(&self, ram: &GuestRam) -> Result<Vec<u8>, MemError> {
-        let mut out = Vec::with_capacity(self.total_len() as usize);
-        for seg in self.segments() {
-            out.extend_from_slice(&ram.read_vec(seg.addr, u64::from(seg.len))?);
-        }
+        let mut out = Vec::new();
+        self.gather_into(ram, &mut out)?;
         Ok(out)
+    }
+
+    /// Reads all segments from `ram` into `out` (cleared first) — the
+    /// reusable-buffer variant of [`SgList::gather`]: a warmed caller
+    /// gathers without touching the allocator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if any segment exceeds the
+    /// memory size; `out` may hold a partial gather on error.
+    pub fn gather_into(&self, ram: &GuestRam, out: &mut Vec<u8>) -> Result<(), MemError> {
+        out.clear();
+        out.resize(self.total_len() as usize, 0);
+        let mut offset = 0usize;
+        for seg in self.segments() {
+            let take = seg.len as usize;
+            ram.read(seg.addr, &mut out[offset..offset + take])?;
+            offset += take;
+        }
+        Ok(())
     }
 
     /// Writes `data` across the segments in order, returning the number

@@ -7,7 +7,8 @@
 //! * [`SimTime`] / [`SimDuration`] — a virtual clock with nanosecond
 //!   resolution. Nothing in the workspace reads the wall clock; all
 //!   latencies and bandwidth delays advance this clock instead.
-//! * [`EventQueue`] — a monotonic, stable priority queue of timed events.
+//! * [`EventQueue`] — a monotonic, stable priority queue of timed events,
+//!   drained a whole tick at a time by [`BatchRunner`] in hot loops.
 //! * [`SimRng`] — a seedable PCG-family random number generator with the
 //!   distribution helpers the workload generators need. The same seed
 //!   always produces the same experiment output, on every platform.
@@ -38,7 +39,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use events::EventQueue;
+pub use events::{BatchRunner, EventQueue};
 pub use ratelimit::TokenBucket;
 pub use resource::{MultiResource, Resource};
 pub use rng::SimRng;

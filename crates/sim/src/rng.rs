@@ -144,6 +144,46 @@ impl SimRng {
         mean + std_dev * self.normal()
     }
 
+    /// Fills `out` with standard normal samples — exactly the values
+    /// repeated [`normal`](Self::normal) calls would return, in the same
+    /// order (any cached spare is handed out first, then fresh
+    /// Box–Muller pairs cos-then-sin, with a trailing odd sample's twin
+    /// cached as the new spare). Bulk callers skip the per-call spare
+    /// bookkeeping, which is measurable at fleet-census scale.
+    pub fn fill_normal(&mut self, out: &mut [f64]) {
+        let mut i = 0;
+        if !out.is_empty() {
+            if let Some(z) = self.spare_normal.take() {
+                out[0] = z;
+                i = 1;
+            }
+        }
+        while i < out.len() {
+            let u1 = 1.0 - self.f64();
+            let u2 = self.f64();
+            let r = (-2.0 * u1.ln()).sqrt();
+            let (sin, cos) = (std::f64::consts::TAU * u2).sin_cos();
+            out[i] = r * cos;
+            i += 1;
+            if i < out.len() {
+                out[i] = r * sin;
+                i += 1;
+            } else {
+                self.spare_normal = Some(r * sin);
+            }
+        }
+    }
+
+    /// Fills `out` with log-normal samples parameterised like
+    /// [`lognormal`](Self::lognormal) — bit-identical values in the
+    /// same order as repeated single-sample calls.
+    pub fn fill_lognormal(&mut self, mu: f64, sigma: f64, out: &mut [f64]) {
+        self.fill_normal(out);
+        for v in out {
+            *v = (mu + sigma * *v).exp();
+        }
+    }
+
     /// A log-normally distributed sample parameterised by the mean and
     /// standard deviation *of the underlying normal*.
     ///
@@ -291,6 +331,44 @@ mod tests {
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn fill_normal_matches_sequential_draws_at_every_parity() {
+        // Odd and even lengths, with and without a spare already
+        // cached, must reproduce the single-call stream bit for bit.
+        for prime in [0usize, 1] {
+            for len in [0usize, 1, 2, 3, 7, 8, 1000, 1001] {
+                let mut single = SimRng::new(42);
+                let mut bulk = SimRng::new(42);
+                for _ in 0..prime {
+                    let a = single.normal();
+                    let b = bulk.normal();
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+                let expect: Vec<f64> = (0..len).map(|_| single.normal()).collect();
+                let mut got = vec![0.0; len];
+                bulk.fill_normal(&mut got);
+                for (e, g) in expect.iter().zip(&got) {
+                    assert_eq!(e.to_bits(), g.to_bits(), "prime {prime} len {len}");
+                }
+                // The streams stay in lockstep afterwards too (spare
+                // state included).
+                assert_eq!(single.normal().to_bits(), bulk.normal().to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn fill_lognormal_matches_sequential_draws() {
+        let mut single = SimRng::new(7);
+        let mut bulk = SimRng::new(7);
+        let expect: Vec<f64> = (0..101).map(|_| single.lognormal(6.06, 1.777)).collect();
+        let mut got = vec![0.0; 101];
+        bulk.fill_lognormal(6.06, 1.777, &mut got);
+        for (e, g) in expect.iter().zip(&got) {
+            assert_eq!(e.to_bits(), g.to_bits());
+        }
     }
 
     #[test]

@@ -25,7 +25,7 @@ use crate::arrivals::{ArrivalModel, ArrivalProcess};
 use crate::dispatch::{Dispatch, LeastLoaded, PowerOfTwo, RoundRobin, STREAM_DISPATCH};
 use bmhive_cloud::vswitch::{Forwarded, PortId, VSwitch};
 use bmhive_net::{MacAddr, Packet, PacketKind};
-use bmhive_sim::{EventQueue, Histogram, SimDuration, SimRng, SimTime};
+use bmhive_sim::{BatchRunner, EventQueue, Histogram, SimDuration, SimRng, SimTime};
 use bmhive_telemetry as telemetry;
 use bmhive_workloads::openloop::ServiceTime;
 
@@ -314,6 +314,10 @@ struct Engine<'a> {
     free_reqs: Vec<usize>,
     /// Reused per-dispatch snapshot of port depths.
     depths_scratch: Vec<u64>,
+    /// Reused frame burst handed to [`VSwitch::forward_batch`].
+    burst_pkts: Vec<Packet>,
+    /// Reused per-burst forwarding results.
+    burst_out: Vec<Forwarded>,
 }
 
 impl Engine<'_> {
@@ -402,6 +406,55 @@ impl Engine<'_> {
         }
     }
 
+    /// Sends both copies of a cloned request as one vSwitch burst —
+    /// one brownout probe and at most one doorbell for the pair —
+    /// scheduling a Join per surviving copy. Frame order, service
+    /// timings and Join sequencing are identical to two back-to-back
+    /// [`Self::send_copy`] calls.
+    fn send_pair(
+        &mut self,
+        req: usize,
+        copies: [(usize, Role, f64); 2],
+        now: SimTime,
+    ) -> [bool; 2] {
+        let mut pkts = std::mem::take(&mut self.burst_pkts);
+        let mut out = std::mem::take(&mut self.burst_out);
+        pkts.clear();
+        for (guest, _, _) in copies {
+            pkts.push(Packet::new(
+                client_mac(),
+                guest_mac(guest),
+                PacketKind::Udp,
+                64,
+                req as u64,
+            ));
+        }
+        self.sw.forward_batch(&pkts, now, &mut out);
+        let mut ok = [false; 2];
+        for (i, (&fw, (guest, role, demand))) in out.iter().zip(copies).enumerate() {
+            match fw {
+                Forwarded::Local(_, delivered) => {
+                    self.reqs[req].outstanding += 1;
+                    self.queue.schedule(
+                        delivered + self.cfg.net_hop,
+                        Ev::Join {
+                            req,
+                            guest,
+                            role,
+                            demand,
+                        },
+                    );
+                    ok[i] = true;
+                }
+                Forwarded::Uplink(_) => unreachable!("traffic guests are always attached"),
+                Forwarded::Dropped => {}
+            }
+        }
+        self.burst_pkts = pkts;
+        self.burst_out = out;
+        ok
+    }
+
     fn on_arrival(&mut self, now: SimTime) {
         let req = self.alloc_req(now);
         self.report.offered += 1;
@@ -441,8 +494,11 @@ impl Engine<'_> {
                 // undershoot the M/G/1-PS closed form.
                 let pair = self.dispatch_rng.below(self.cfg.guests as u64 / 2) as usize;
                 let (a, b) = (2 * pair, 2 * pair + 1);
-                let ok_a = self.send_copy(req, a, Role::Primary, demand, now);
-                let ok_b = self.send_copy(req, b, Role::Clone, clone_demand, now);
+                let [ok_a, ok_b] = self.send_pair(
+                    req,
+                    [(a, Role::Primary, demand), (b, Role::Clone, clone_demand)],
+                    now,
+                );
                 self.report.clones_sent += 1;
                 let r = &mut self.reqs[req];
                 r.done = !ok_a && !ok_b;
@@ -660,6 +716,20 @@ impl Engine<'_> {
 /// an odd pool, or if a cloning/hedging mode is used with fewer than
 /// two guests.
 pub fn run(cfg: &TrafficConfig, seed: u64) -> RunReport {
+    run_impl(cfg, seed, true)
+}
+
+/// The one-pop-at-a-time twin of [`run`]: identical configuration,
+/// RNG streams, and event order, but driven by `queue.pop()` instead
+/// of the [`BatchRunner`]. Exists as the reference arm of the
+/// batch-vs-single equivalence property test — reports and traces must
+/// come out byte-identical (minus the `sim.batch_*` meters only the
+/// batched driver emits). Experiments never call this.
+pub fn run_single_pop(cfg: &TrafficConfig, seed: u64) -> RunReport {
+    run_impl(cfg, seed, false)
+}
+
+fn run_impl(cfg: &TrafficConfig, seed: u64, batched: bool) -> RunReport {
     assert!(cfg.guests > 0, "traffic: empty guest pool");
     assert!(cfg.requests > 0, "traffic: zero requests");
     match cfg.mode {
@@ -721,6 +791,8 @@ pub fn run(cfg: &TrafficConfig, seed: u64) -> RunReport {
         traced: telemetry::is_enabled(),
         free_reqs: Vec::new(),
         depths_scratch: Vec::new(),
+        burst_pkts: Vec::new(),
+        burst_out: Vec::new(),
     };
 
     if let Some(o) = &cfg.outage {
@@ -731,26 +803,32 @@ pub fn run(cfg: &TrafficConfig, seed: u64) -> RunReport {
     engine.queue.schedule(first, Ev::Arrival);
 
     let mut horizon = SimTime::ZERO;
-    // Drain whole ticks at a time through a reused scratch buffer;
-    // same-tick events scheduled mid-batch arrive in the next batch,
-    // exactly where a pop-per-event loop would deliver them.
-    let mut batch: Vec<(SimTime, Ev)> = Vec::new();
-    while engine.queue.pop_batch(&mut batch) > 0 {
-        for (now, ev) in batch.drain(..) {
-            horizon = now;
-            match ev {
-                Ev::Arrival => engine.on_arrival(now),
-                Ev::Join {
-                    req,
-                    guest,
-                    role,
-                    demand,
-                } => engine.on_join(req, guest, role, demand, now),
-                Ev::Depart { guest, epoch } => engine.on_depart(guest, epoch, now),
-                Ev::HedgeFire { req, epoch } => engine.on_hedge_fire(req, epoch, now),
-                Ev::OutageStart => engine.on_outage(true, now),
-                Ev::OutageEnd => engine.on_outage(false, now),
-            }
+    // The BatchRunner drains whole ticks at a time through its reused
+    // scratch; same-tick events scheduled mid-batch arrive in the next
+    // batch, exactly where a pop-per-event loop would deliver them (the
+    // batch-vs-single property test pins this end to end).
+    let mut runner: BatchRunner<Ev> = BatchRunner::new();
+    let mut handler = |e: &mut Engine, now: SimTime, ev: Ev| {
+        horizon = now;
+        match ev {
+            Ev::Arrival => e.on_arrival(now),
+            Ev::Join {
+                req,
+                guest,
+                role,
+                demand,
+            } => e.on_join(req, guest, role, demand, now),
+            Ev::Depart { guest, epoch } => e.on_depart(guest, epoch, now),
+            Ev::HedgeFire { req, epoch } => e.on_hedge_fire(req, epoch, now),
+            Ev::OutageStart => e.on_outage(true, now),
+            Ev::OutageEnd => e.on_outage(false, now),
+        }
+    };
+    if batched {
+        runner.run(&mut engine, |e| &mut e.queue, &mut handler);
+    } else {
+        while let Some((now, ev)) = engine.queue.pop() {
+            handler(&mut engine, now, ev);
         }
     }
 
@@ -762,6 +840,15 @@ pub fn run(cfg: &TrafficConfig, seed: u64) -> RunReport {
     report.peak_depth = engine.sw.peak_port_depth();
     if engine.traced {
         telemetry::add_events(report.completed);
+        // Batch-efficiency meters: how many ticks the runner drained
+        // and how many events rode them (mean batch length =
+        // events / ticks), plus the doorbells the polling PMD never
+        // had to take. The single-pop reference arm has no runner, so
+        // it emits nothing here — the one sanctioned trace difference.
+        if batched {
+            telemetry::counter("sim.batch_ticks", runner.ticks());
+            telemetry::counter("sim.batch_events", runner.events());
+        }
     }
     report
 }

@@ -37,5 +37,6 @@ pub mod engine;
 pub use arrivals::{ArrivalModel, ArrivalProcess, STREAM_ARRIVALS};
 pub use dispatch::{Dispatch, LeastLoaded, PowerOfTwo, RoundRobin, STREAM_DISPATCH};
 pub use engine::{
-    run, DispatchMode, Outage, Policy, RunReport, TrafficConfig, STREAM_HEDGE, STREAM_SERVICE,
+    run, run_single_pop, DispatchMode, Outage, Policy, RunReport, TrafficConfig, STREAM_HEDGE,
+    STREAM_SERVICE,
 };

@@ -19,7 +19,6 @@ use crate::queue::{
 };
 use bmhive_mem::{GuestAddr, GuestRam, SgSegment};
 use bmhive_telemetry as telemetry;
-use std::collections::HashMap;
 
 /// Driver-side state of one split virtqueue.
 #[derive(Debug, Clone)]
@@ -27,8 +26,15 @@ pub struct VirtqueueDriver {
     layout: QueueLayout,
     /// Free descriptor indices (driver-private; popped on alloc).
     free: Vec<u16>,
-    /// Outstanding chains: head index → all descriptor indices.
-    outstanding: HashMap<u16, Vec<u16>>,
+    /// Outstanding chains, slab-indexed by head: each slot holds the
+    /// chain's descriptor indices, and an empty slot means the head is
+    /// not outstanding (a chain always has at least one descriptor).
+    /// Completion drains the slot in place, so the per-chain Vec's
+    /// capacity is recycled and a warmed post/reap cycle never touches
+    /// the allocator — the same slab idiom as the shadow ring's
+    /// inflight table.
+    outstanding: Vec<Vec<u16>>,
+    outstanding_len: usize,
     avail_idx: u16,
     last_used_idx: u16,
 }
@@ -49,7 +55,8 @@ impl VirtqueueDriver {
         Ok(VirtqueueDriver {
             layout,
             free: (0..layout.size).rev().collect(),
-            outstanding: HashMap::new(),
+            outstanding: (0..layout.size).map(|_| Vec::new()).collect(),
+            outstanding_len: 0,
             avail_idx: 0,
             last_used_idx: 0,
         })
@@ -67,7 +74,7 @@ impl VirtqueueDriver {
 
     /// Chains posted but not yet completed.
     pub fn outstanding(&self) -> usize {
-        self.outstanding.len()
+        self.outstanding_len
     }
 
     fn write_desc(
@@ -110,9 +117,14 @@ impl VirtqueueDriver {
         if total > self.free.len() {
             return Err(VirtioError::ChainTooLong);
         }
-        let indices: Vec<u16> = (0..total)
-            .map(|_| self.free.pop().expect("checked length"))
-            .collect();
+        // The head is the next free index to pop; its recycled slab
+        // slot collects the chain's indices in place of a fresh Vec.
+        let head = self.free[self.free.len() - 1];
+        let mut indices = std::mem::take(&mut self.outstanding[usize::from(head)]);
+        debug_assert!(indices.is_empty(), "slab slot reused while outstanding");
+        for _ in 0..total {
+            indices.push(self.free.pop().expect("checked length"));
+        }
         for (pos, idx) in indices.iter().enumerate() {
             let (seg, mut flags) = if pos < readable.len() {
                 (readable[pos], 0)
@@ -125,10 +137,16 @@ impl VirtqueueDriver {
             } else {
                 0
             };
-            self.write_desc(ram, *idx, seg, flags, next)?;
+            if let Err(e) = self.write_desc(ram, *idx, seg, flags, next) {
+                // Ring memory is unmapped: hand the slot Vec back empty
+                // so a later epoch can still reuse its capacity.
+                indices.clear();
+                self.outstanding[usize::from(head)] = indices;
+                return Err(e);
+            }
         }
-        let head = indices[0];
-        self.outstanding.insert(head, indices);
+        self.outstanding[usize::from(head)] = indices;
+        self.outstanding_len += 1;
         self.publish(ram, head)?;
         Ok(head)
     }
@@ -186,7 +204,10 @@ impl VirtqueueDriver {
             self.free.push(head);
             return Err(e);
         }
-        self.outstanding.insert(head, vec![head]);
+        let slot = &mut self.outstanding[usize::from(head)];
+        debug_assert!(slot.is_empty(), "slab slot reused while outstanding");
+        slot.push(head);
+        self.outstanding_len += 1;
         self.publish(ram, head)?;
         Ok(head)
     }
@@ -219,10 +240,15 @@ impl VirtqueueDriver {
         let id = ram.read_u32(at)? as u16;
         let len = ram.read_u32(at + 4)?;
         self.last_used_idx = self.last_used_idx.wrapping_add(1);
-        let Some(indices) = self.outstanding.remove(&id) else {
-            return Err(VirtioError::BadHeadIndex(id));
-        };
-        self.free.extend(indices);
+        let Self {
+            free, outstanding, ..
+        } = self;
+        let indices = outstanding
+            .get_mut(usize::from(id))
+            .filter(|slot| !slot.is_empty())
+            .ok_or(VirtioError::BadHeadIndex(id))?;
+        free.append(indices);
+        self.outstanding_len -= 1;
         Ok(Some((id, len)))
     }
 

@@ -44,6 +44,7 @@ fn main() -> ExitCode {
 /// The classic single-pass mode: render the requested experiments once.
 fn repro_main(args: &[String]) -> ExitCode {
     let mut seed = 1u64;
+    let mut jobs = 1usize;
     let mut out_dir: Option<PathBuf> = None;
     let mut trace_path: Option<PathBuf> = None;
     let mut metrics = false;
@@ -56,6 +57,17 @@ fn repro_main(args: &[String]) -> ExitCode {
                 Some(s) => seed = s,
                 None => {
                     eprintln!("--seed requires an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--jobs" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(0) => {
+                    eprintln!("--jobs must be at least 1 (got 0)");
+                    return ExitCode::FAILURE;
+                }
+                Some(n) => jobs = n,
+                None => {
+                    eprintln!("--jobs requires a positive integer");
                     return ExitCode::FAILURE;
                 }
             },
@@ -128,6 +140,10 @@ fn repro_main(args: &[String]) -> ExitCode {
             }
         }
     }
+
+    // Host-sharded experiments fan their per-host work across this
+    // many workers; output is byte-identical for any width.
+    bmhive_bench::par::set_jobs(jobs);
 
     let telemetry_on = trace_path.is_some() || metrics;
     if telemetry_on {
@@ -425,6 +441,7 @@ fn merge_main(args: &[String]) -> ExitCode {
 fn bench_main(args: &[String]) -> ExitCode {
     let mut seed = 1u64;
     let mut repeats = 3u32;
+    let mut jobs = 1usize;
     let mut out_path: Option<PathBuf> = None;
     let mut check_path: Option<PathBuf> = None;
     let mut compare_out: Option<PathBuf> = None;
@@ -444,6 +461,17 @@ fn bench_main(args: &[String]) -> ExitCode {
                 Some(r) => repeats = r,
                 None => {
                     eprintln!("--repeat requires an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--jobs" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(0) => {
+                    eprintln!("--jobs must be at least 1 (got 0)");
+                    return ExitCode::FAILURE;
+                }
+                Some(n) => jobs = n,
+                None => {
+                    eprintln!("--jobs requires a positive integer");
                     return ExitCode::FAILURE;
                 }
             },
@@ -510,7 +538,7 @@ fn bench_main(args: &[String]) -> ExitCode {
         None => None,
     };
 
-    let report = match bmhive_bench::harness::run_bench(&experiments, seed, repeats) {
+    let report = match bmhive_bench::harness::run_bench_jobs(&experiments, seed, repeats, jobs) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("{e}");
@@ -519,7 +547,7 @@ fn bench_main(args: &[String]) -> ExitCode {
     };
 
     println!(
-        "{:<10} | {:>12} | {:>10} | {:>14} | {:>12} | {:>10} | {:>12} | {:>9}",
+        "{:<10} | {:>12} | {:>10} | {:>14} | {:>12} | {:>10} | {:>12} | {:>9} | {:>4} | {:>7}",
         "experiment",
         "wall ms",
         "events",
@@ -527,11 +555,13 @@ fn bench_main(args: &[String]) -> ExitCode {
         "allocs/ev",
         "peak depth",
         "suppressed",
-        "batch len"
+        "batch len",
+        "jobs",
+        "speedup"
     );
     for r in &report.results {
         println!(
-            "{:<10} | {:>12.3} | {:>10} | {:>14.0} | {:>12.4} | {:>10.1} | {:>12} | {:>9.2}",
+            "{:<10} | {:>12.3} | {:>10} | {:>14.0} | {:>12.4} | {:>10.1} | {:>12} | {:>9.2} | {:>4} | {:>7.2}",
             r.experiment,
             r.wall_ns as f64 / 1e6,
             r.events,
@@ -539,7 +569,9 @@ fn bench_main(args: &[String]) -> ExitCode {
             r.allocs_per_event,
             r.peak_queue_depth,
             r.doorbells_suppressed,
-            r.mean_batch_len
+            r.mean_batch_len,
+            r.jobs,
+            r.parallel_speedup
         );
     }
     println!(
@@ -636,13 +668,15 @@ fn print_help() {
     println!("repro — regenerate the BM-Hive paper's tables and figures");
     println!();
     println!(
-        "USAGE: repro [--seed N] [--out DIR] [--trace FILE] [--metrics] [--faults PLAN] [experiment ...]"
+        "USAGE: repro [--seed N] [--jobs N] [--out DIR] [--trace FILE] [--metrics] [--faults PLAN] [experiment ...]"
     );
     println!("       repro sweep [...]   parallel (experiment x seed x plan) sweep (see repro sweep --help)");
     println!("       repro merge [...]   reassemble sharded sweep output (see repro merge --help)");
     println!("       repro bench [...]   wall-clock benchmark trajectory (see repro bench --help)");
     println!();
     println!("  --seed N       seed for every stochastic experiment (default 1)");
+    println!("  --jobs N       worker threads for host-sharded experiments (fleet_scale,");
+    println!("                 region_census); output is byte-identical for any N (default 1)");
     println!("  --out DIR      write each experiment as DIR/<id>.txt + DIR/<id>.json");
     println!("  --trace FILE   record a virtual-time telemetry trace of the run and");
     println!("                 write it as Chrome trace_event JSON (chrome://tracing)");
@@ -656,6 +690,7 @@ fn print_help() {
     println!("experiments: table1 table2 fig1 table3 fig7 fig8 fig9 fig10 fig11");
     println!("             fig12 fig13 fig14 fig15 fig16 cost nested iobond asic offload sgx");
     println!("             trading faults traffic_policies traffic_isolation fleet_scale");
+    println!("             region_census");
 }
 
 fn print_sweep_help() {
@@ -695,12 +730,15 @@ fn print_merge_help() {
 fn print_bench_help() {
     println!("repro bench — time each experiment and track the benchmark trajectory");
     println!();
-    println!("USAGE: repro bench [--seed N] [--repeat R] [--out FILE] [--check FILE] [--compare-out FILE] [--tolerance F] [experiment ...]");
+    println!("USAGE: repro bench [--seed N] [--repeat R] [--jobs N] [--out FILE] [--check FILE] [--compare-out FILE] [--tolerance F] [experiment ...]");
     println!();
     println!("  --seed N        seed for every experiment (default 1)");
     println!(
         "  --repeat R      untraced timing runs per experiment; the minimum is kept (default 3)"
     );
+    println!("  --jobs N        also time host-sharded experiments (fleet_scale, region_census)");
+    println!("                  at N workers and record the parallel speedup vs 1 worker;");
+    println!("                  wall/events columns always report the 1-worker run (default 1)");
     println!("  --out FILE      write the report as JSON (e.g. BENCH_results.json)");
     println!("  --check FILE    compare against a baseline report; per-experiment wall times are");
     println!(

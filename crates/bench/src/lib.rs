@@ -7,6 +7,7 @@
 
 pub mod harness;
 pub mod merge;
+pub mod par;
 pub mod sweep;
 
 use std::fmt::Write as _;
@@ -14,7 +15,7 @@ use std::fmt::Write as _;
 use bmhive_cloud::blockstore::IoKind;
 use bmhive_cloud::catalog::{ServerConstraints, INSTANCE_CATALOG};
 use bmhive_cloud::cost::CostModel;
-use bmhive_cloud::fleet::{ExitCensus, ExitRateStream, PreemptionStudy};
+use bmhive_cloud::fleet::{ExitCensus, ExitRateStream, PreemptionStudy, RegionHostDay};
 use bmhive_cloud::security::{ServiceKind, ServiceProfile};
 use bmhive_cpu::nested::NestedVirtModel;
 use bmhive_hypervisor::IoPath;
@@ -28,6 +29,13 @@ use bmhive_workloads::{
 /// Renders Table 1: the qualitative three-service comparison.
 pub fn table1() -> String {
     let mut out = String::new();
+    table1_into(&mut out);
+    out
+}
+
+/// Renders Table 1 into a caller-provided buffer. With a warmed
+/// (pre-sized) buffer the render itself performs no allocations.
+pub fn table1_into(out: &mut String) {
     writeln!(out, "Table 1. Comparison of three cloud services").unwrap();
     writeln!(
         out,
@@ -36,15 +44,15 @@ pub fn table1() -> String {
     )
     .unwrap();
     for kind in ServiceKind::ALL {
-        let (service, security, isolation, perf, density) = ServiceProfile::of(kind).table_row();
+        let (service, security, isolation, perf, tenants) =
+            ServiceProfile::of(kind).table_row_parts();
         writeln!(
             out,
-            "{service:<28} | {security:<52} | {isolation:<38} | {perf:<44} | {density}"
+            "{service:<28} | {security:<52} | {isolation:<38} | {perf:<44} | {tenants} tenant(s)/server"
         )
         .unwrap();
     }
     telemetry::add_events(ServiceKind::ALL.len() as u64);
-    out
 }
 
 /// Renders Table 2: the VM-exit census over a synthetic 300 000-VM
@@ -121,8 +129,15 @@ pub fn fig1(seed: u64) -> String {
 
 /// Renders Table 3: the instance catalog and per-server board limits.
 pub fn table3() -> String {
-    let constraints = ServerConstraints::production();
     let mut out = String::new();
+    table3_into(&mut out);
+    out
+}
+
+/// Renders Table 3 into a caller-provided buffer (allocation-free once
+/// the buffer is warmed).
+pub fn table3_into(out: &mut String) {
+    let constraints = ServerConstraints::production();
     writeln!(
         out,
         "Table 3. Bare-metal instances (catalog reconstructed from the text)"
@@ -153,7 +168,6 @@ pub fn table3() -> String {
     )
     .unwrap();
     telemetry::add_events(INSTANCE_CATALOG.len() as u64);
-    out
 }
 
 /// Renders Fig. 7: SPEC CINT2006 relative performance.
@@ -540,8 +554,15 @@ pub fn fig16(seed: u64) -> String {
 
 /// Renders the §3.5 cost-efficiency analysis.
 pub fn cost() -> String {
-    let model = CostModel::paper();
     let mut out = String::new();
+    cost_into(&mut out);
+    out
+}
+
+/// Renders the cost analysis into a caller-provided buffer
+/// (allocation-free once the buffer is warmed).
+pub fn cost_into(out: &mut String) {
+    let model = CostModel::paper();
     writeln!(out, "§3.5 Cost efficiency").unwrap();
     writeln!(
         out,
@@ -572,13 +593,19 @@ pub fn cost() -> String {
     )
     .unwrap();
     telemetry::add_events(3);
-    out
 }
 
 /// Renders the §2.3 nested-virtualization comparison.
 pub fn nested() -> String {
-    let model = NestedVirtModel::kvm_on_kvm();
     let mut out = String::new();
+    nested_into(&mut out);
+    out
+}
+
+/// Renders the nested-virtualization comparison into a caller-provided
+/// buffer (allocation-free once the buffer is warmed).
+pub fn nested_into(out: &mut String) {
+    let model = NestedVirtModel::kvm_on_kvm();
     writeln!(
         out,
         "§2.3 Nested hypervisor performance (relative to native)"
@@ -603,14 +630,19 @@ pub fn nested() -> String {
     )
     .unwrap();
     telemetry::add_events(3);
-    out
 }
 
 /// Renders the §3.4.3 IO-Bond microbenchmarks and the Fig. 6 step
 /// budget.
 pub fn iobond() -> String {
-    let profile = IoBondProfile::fpga();
     let mut out = String::new();
+    iobond_into(&mut out);
+    out
+}
+
+/// Renders the IO-Bond microbenchmarks into a caller-provided buffer.
+pub fn iobond_into(out: &mut String) {
+    let profile = IoBondProfile::fpga();
     writeln!(out, "§3.4.3 IO-Bond microbenchmarks (FPGA profile)").unwrap();
     writeln!(
         out,
@@ -639,14 +671,16 @@ pub fn iobond() -> String {
     .unwrap();
     writeln!(out, "\nFig. 6: the 14-step Tx/Rx exchange (64B payloads)").unwrap();
     let steps = steps::tx_rx_steps(&profile, 64, 64);
+    // One reused scratch String for the padded actor column instead of
+    // a format! per step.
+    let mut actor = String::new();
     for step in &steps {
+        actor.clear();
+        write!(actor, "{:?}", step.actor).unwrap();
         writeln!(
             out,
-            "  {:>2}. [{:<7}] {:<58} {}",
-            step.number,
-            format!("{:?}", step.actor),
-            step.description,
-            step.cost
+            "  {:>2}. [{actor:<7}] {:<58} {}",
+            step.number, step.description, step.cost
         )
         .unwrap();
     }
@@ -662,14 +696,20 @@ pub fn iobond() -> String {
         steps::modelled_exchange_latency(&profile, 64, 64)
     )
     .unwrap();
-    out
 }
 
 /// Renders the §6 ASIC projection ablation.
 pub fn asic() -> String {
+    let mut out = String::new();
+    asic_into(&mut out);
+    out
+}
+
+/// Renders the ASIC projection into a caller-provided buffer
+/// (allocation-free once the buffer is warmed).
+pub fn asic_into(out: &mut String) {
     let fpga = IoBondProfile::fpga();
     let asic = IoBondProfile::asic();
-    let mut out = String::new();
     writeln!(out, "§6 ASIC projection (ablation)").unwrap();
     writeln!(
         out,
@@ -678,8 +718,11 @@ pub fn asic() -> String {
         asic.guest_register_access()
     )
     .unwrap();
-    let fpga_total = steps::total_latency(&steps::tx_rx_steps(&fpga, 64, 64));
-    let asic_total = steps::total_latency(&steps::tx_rx_steps(&asic, 64, 64));
+    // The closed-form model equals the materialized step sum by
+    // construction (the integration suite cross-checks), and it
+    // doesn't allocate the step vector.
+    let fpga_total = steps::modelled_exchange_latency(&fpga, 64, 64);
+    let asic_total = steps::modelled_exchange_latency(&asic, 64, 64);
     writeln!(
         out,
         "Fig. 6 exchange: fpga {} -> asic {}",
@@ -703,15 +746,21 @@ pub fn asic() -> String {
     )
     .unwrap();
     telemetry::add_events(4);
-    out
 }
 
 /// Renders the §6 IO-Bond offload plan and the §3.4.2 slow-path
 /// comparison (ablations).
 pub fn offload() -> String {
+    let mut out = String::new();
+    offload_into(&mut out);
+    out
+}
+
+/// Renders the offload/slow-path ablation into a caller-provided
+/// buffer (allocation-free once the buffer is warmed).
+pub fn offload_into(out: &mut String) {
     use bmhive_hypervisor::NetBackendPath;
     use bmhive_iobond::OffloadConfig;
-    let mut out = String::new();
     writeln!(out, "§6 IO-Bond packet-processing offload (ablation)").unwrap();
     writeln!(
         out,
@@ -763,11 +812,18 @@ pub fn offload() -> String {
         .unwrap();
     }
     telemetry::add_events(2 + bmhive_hypervisor::BackendMode::ALL.len() as u64 + 2);
-    out
 }
 
 /// Renders the §6 SGX comparison.
 pub fn sgx() -> String {
+    let mut out = String::new();
+    sgx_into(&mut out);
+    out
+}
+
+/// Renders the SGX comparison into a caller-provided buffer
+/// (allocation-free once the buffer is warmed).
+pub fn sgx_into(out: &mut String) {
     use bmhive_cpu::catalog::XEON_E5_2682_V4;
     use bmhive_cpu::sgx::{EnclaveWorkload, SgxModel, SgxSupport};
     use bmhive_cpu::Platform;
@@ -775,46 +831,46 @@ pub fn sgx() -> String {
     let workload = EnclaveWorkload::trading_engine();
     let bm = Platform::bm_guest(XEON_E5_2682_V4);
     let vm = Platform::vm_guest(XEON_E5_2682_V4);
-    let mut out = String::new();
     writeln!(
         out,
         "§6 SGX support (trading-engine enclave, 120K transitions/s)"
     )
     .unwrap();
-    let fmt = |s: Option<f64>| match s {
-        Some(f) => format!("{:.1}% of a core in SGX machinery", f * 100.0),
-        None => "cannot launch (no special builds)".to_string(),
-    };
-    writeln!(
+    // Writes each row straight into the buffer — no per-row String.
+    fn row(out: &mut String, label: &str, s: Option<f64>) {
+        match s {
+            Some(f) => {
+                writeln!(out, "{label}{:.1}% of a core in SGX machinery", f * 100.0).unwrap()
+            }
+            None => writeln!(out, "{label}cannot launch (no special builds)").unwrap(),
+        }
+    }
+    row(
         out,
-        "bm-guest (native SGX):          {}",
-        fmt(model.overhead_fraction(&workload, model.support_on(&bm)))
-    )
-    .unwrap();
-    writeln!(
+        "bm-guest (native SGX):          ",
+        model.overhead_fraction(&workload, model.support_on(&bm)),
+    );
+    row(
         out,
-        "vm-guest (stock KVM/QEMU):      {}",
-        fmt(model.overhead_fraction(&workload, model.support_on(&vm)))
-    )
-    .unwrap();
-    writeln!(
+        "vm-guest (stock KVM/QEMU):      ",
+        model.overhead_fraction(&workload, model.support_on(&vm)),
+    );
+    row(
         out,
-        "vm-guest (special SGX builds):  {}",
-        fmt(model.overhead_fraction(
+        "vm-guest (special SGX builds):  ",
+        model.overhead_fraction(
             &workload,
             SgxSupport::Virtualized {
-                special_builds_installed: true
-            }
-        ))
-    )
-    .unwrap();
+                special_builds_installed: true,
+            },
+        ),
+    );
     writeln!(
         out,
         "(paper: SGX 'does not work well in virtual machines'; BM-Hive runs it natively)"
     )
     .unwrap();
     telemetry::add_events(3);
-    out
 }
 
 /// Renders the §1/§2.1 motivation workload: high-frequency trading
@@ -1189,22 +1245,29 @@ pub fn traffic_isolation(seed: u64) -> String {
 }
 
 /// Renders the fleet-scale study: the §2 exit-rate census run as a
-/// *stream* at 10 000, 100 000, and 1 000 000 guests, proving the
-/// census costs O(1) memory in guest count while staying exactly equal
-/// to a materialized fold of the same draws.
+/// *host-sharded stream* at 10 000, 100 000, and 1 000 000 guests
+/// (1, 10, and 100 hosts of 10 000 guests each), proving the census
+/// costs O(1) memory per worker in guest count while staying exactly
+/// equal to a materialized fold of the same draws.
 ///
-/// Peak-allocation columns are a peak-RSS proxy metered by the
-/// [`telemetry::alloc::CountingAlloc`] thread-local counters; they
-/// read `n/a` (and the memory gate reports `SKIPPED`) when the
-/// counting allocator is not installed as `#[global_allocator]` — the
-/// `repro` binary installs it. The metered closures are deliberately
-/// telemetry-free so the printed byte counts are deterministic.
+/// The per-host censuses fan out across [`par::run_hosts`] — host `h`
+/// draws from a stream derived purely from `h`, so the report is
+/// byte-identical at every `--jobs` width — and merge in host-index
+/// order. Peak-allocation columns are a peak-RSS proxy metered by the
+/// [`telemetry::alloc::CountingAlloc`] thread-local counters *inside
+/// each worker*; they read `n/a` (and the memory gate reports
+/// `SKIPPED`) when the counting allocator is not installed as
+/// `#[global_allocator]` — the `repro` binary installs it. The metered
+/// closures are deliberately telemetry-free so the printed byte counts
+/// are deterministic.
 pub fn fleet_scale(seed: u64) -> String {
     const THRESHOLDS: [f64; 3] = [10_000.0, 50_000.0, 100_000.0];
-    const SCALES: [u64; 3] = [10_000, 100_000, 1_000_000];
-    const BASE: u64 = SCALES[0];
-    /// Memory-gate slack: the 1M-guest census may exceed the 10k one
-    /// by at most this much before the O(1) claim fails.
+    const GUESTS_PER_HOST: u64 = 10_000;
+    const HOST_SCALES: [usize; 3] = [1, 10, 100];
+    const BASE: u64 = GUESTS_PER_HOST;
+    /// Memory-gate slack: the worst per-worker peak of the 100-host
+    /// (1M-guest) census may exceed the single-host one by at most
+    /// this much before the O(1)-per-worker claim fails.
     const SLACK_BYTES: u64 = 64 * 1024;
 
     let metered = telemetry::alloc::installed();
@@ -1216,10 +1279,11 @@ pub fn fleet_scale(seed: u64) -> String {
         }
     };
 
-    // The materialized reference: drain the same stream into a Vec for
+    // The materialized reference: drain host 0's stream into a Vec for
     // exact quickselect percentiles (only feasible at the base scale).
+    let host0_stream = par::host_stream(ExitRateStream::CENSUS_STREAM, 0);
     let (rates, materialized_peak) = telemetry::alloc::measure_peak(|| {
-        ExitRateStream::production(seed)
+        ExitRateStream::production_on(seed, host0_stream)
             .take(BASE as usize)
             .collect::<Vec<f64>>()
     });
@@ -1228,19 +1292,19 @@ pub fn fleet_scale(seed: u64) -> String {
         by_hand.observe(rate);
     }
 
-    // The streaming censuses, metered. Telemetry happens outside the
+    // One host's shard of the census, metered on the worker that runs
+    // it. Chunked bulk draws — same rates, same order as the iterator;
+    // the fixed 8 KiB scratch is part of the metered footprint and
+    // identical on every host, so the O(1)-per-worker memory claim the
+    // gate checks is untouched. Telemetry happens outside the
     // measurement window (registry writes allocate).
-    let mut runs: Vec<(u64, ExitCensus, u64)> = Vec::new();
-    for &n in &SCALES {
+    let census_host = |host: usize| {
+        let stream_sel = par::host_stream(ExitRateStream::CENSUS_STREAM, host);
         let (census, peak) = telemetry::alloc::measure_peak(|| {
-            // Chunked bulk draws — same rates, same order as the
-            // iterator; the fixed 8 KiB scratch is part of the metered
-            // footprint and identical at every scale, so the O(1)
-            // memory claim the gate checks is untouched.
             let mut census = ExitCensus::new(&THRESHOLDS);
-            let mut stream = ExitRateStream::production(seed);
+            let mut stream = ExitRateStream::production_on(seed, stream_sel);
             let mut chunk = [0.0f64; 1024];
-            let mut left = n as usize;
+            let mut left = GUESTS_PER_HOST as usize;
             while left > 0 {
                 let take = left.min(chunk.len());
                 stream.fill(&mut chunk[..take]);
@@ -1251,31 +1315,46 @@ pub fn fleet_scale(seed: u64) -> String {
             }
             census
         });
-        telemetry::add_events(n);
-        telemetry::counter("fleet.guests_censused", n);
+        telemetry::add_events(GUESTS_PER_HOST);
+        telemetry::counter("fleet.guests_censused", GUESTS_PER_HOST);
         telemetry::gauge_max("fleet.census_peak_alloc_bytes", peak as f64);
-        runs.push((n, census, peak));
+        (census, peak)
+    };
+
+    // Each scale fans its hosts across the worker pool and folds the
+    // shards back in host-index order.
+    let mut runs: Vec<(u64, usize, ExitCensus, u64)> = Vec::new();
+    for &hosts in &HOST_SCALES {
+        let shards = par::run_hosts(hosts, seed, census_host);
+        let mut census = ExitCensus::new(&THRESHOLDS);
+        let mut worst_peak = 0u64;
+        for (shard, peak) in &shards {
+            census.merge(shard);
+            worst_peak = worst_peak.max(*peak);
+        }
+        runs.push((hosts as u64 * GUESTS_PER_HOST, hosts, census, worst_peak));
     }
 
     let mut out = String::new();
     writeln!(
         out,
-        "Fleet scale: streaming exit-rate census, {}..{} guests (seed {seed})",
-        SCALES[0],
-        SCALES[SCALES.len() - 1]
+        "Fleet scale: host-sharded streaming exit-rate census, {}..{} guests ({} guests/host, seed {seed})",
+        runs[0].0,
+        runs[runs.len() - 1].0,
+        GUESTS_PER_HOST
     )
     .unwrap();
     writeln!(
         out,
-        "{:>9} | {:>7} | {:>7} | {:>7} | {:>8} | {:>8} | {:>8} | {:>12}",
-        "guests", ">10K %", ">50K %", ">100K %", "p50", "p99", "p99.9", "peak alloc"
+        "{:>9} | {:>5} | {:>7} | {:>7} | {:>7} | {:>8} | {:>8} | {:>8} | {:>12}",
+        "guests", "hosts", ">10K %", ">50K %", ">100K %", "p50", "p99", "p99.9", "worker peak"
     )
     .unwrap();
-    for (n, census, peak) in &runs {
+    for (n, hosts, census, peak) in &runs {
         let rows = census.rows();
         writeln!(
             out,
-            "{n:>9} | {:>7.3} | {:>7.3} | {:>7.3} | {:>8.0} | {:>8.0} | {:>8.0} | {:>12}",
+            "{n:>9} | {hosts:>5} | {:>7.3} | {:>7.3} | {:>7.3} | {:>8.0} | {:>8.0} | {:>8.0} | {:>12}",
             rows[0].1,
             rows[1].1,
             rows[2].1,
@@ -1293,15 +1372,15 @@ pub fn fleet_scale(seed: u64) -> String {
     )
     .unwrap();
 
-    // Gate 1: the streaming census is *exactly* a fold of the stream —
-    // same draws, same counts, same histogram, bit for bit.
-    let base_census = &runs[0].1;
+    // Gate 1: a host's streaming census is *exactly* a fold of its
+    // stream — same draws, same counts, same histogram, bit for bit.
+    let base_census = &runs[0].2;
     let fold_exact = by_hand.rows() == base_census.rows()
         && by_hand.total() == base_census.total()
         && by_hand.rate_percentile(99.0).to_bits() == base_census.rate_percentile(99.0).to_bits();
     writeln!(
         out,
-        "streaming census == materialized fold at {BASE} guests (bit-exact) -> {}",
+        "host 0 streaming census == materialized fold at {BASE} guests (bit-exact) -> {}",
         if fold_exact { "PASS" } else { "FAIL" }
     )
     .unwrap();
@@ -1322,9 +1401,11 @@ pub fn fleet_scale(seed: u64) -> String {
     )
     .unwrap();
 
-    // Gate 3: census fractions are stable across two decades of scale.
-    let base_rows = runs[0].1.rows();
-    let big_rows = runs[runs.len() - 1].1.rows();
+    // Gate 3: census fractions are stable across two decades of scale
+    // (the 100 hosts draw disjoint streams, so this is a genuine
+    // independent-shard stability check, not a shared-prefix identity).
+    let base_rows = runs[0].2.rows();
+    let big_rows = runs[runs.len() - 1].2.rows();
     let mut worst_drift = 0.0f64;
     for (b, g) in base_rows.iter().zip(&big_rows) {
         worst_drift = worst_drift.max((b.1 - g.1).abs());
@@ -1337,29 +1418,38 @@ pub fn fleet_scale(seed: u64) -> String {
     )
     .unwrap();
 
-    // Gate 4: O(1) memory — a 100x larger fleet must not allocate more
-    // than the small fleet plus slack.
+    // Gate 4: O(1) memory per worker — censusing one host of a
+    // 100-host fleet must not allocate more than censusing the single
+    // host of the small fleet, plus slack.
     if metered {
-        let base_peak = runs[0].2;
-        let big_peak = runs[runs.len() - 1].2;
+        let base_peak = runs[0].3;
+        let big_peak = runs[runs.len() - 1].3;
         writeln!(
             out,
-            "O(1) memory: 1M-guest peak {big_peak} B <= {BASE}-guest peak {base_peak} B + {SLACK_BYTES} B -> {}",
+            "O(1) memory per worker: 1M-guest worst host peak {big_peak} B <= single-host peak {base_peak} B + {SLACK_BYTES} B -> {}",
             if big_peak <= base_peak + SLACK_BYTES { "PASS" } else { "FAIL" }
         )
         .unwrap();
     } else {
         writeln!(
             out,
-            "O(1) memory: counting allocator not installed -> SKIPPED"
+            "O(1) memory per worker: counting allocator not installed -> SKIPPED"
         )
         .unwrap();
     }
 
     // Gate 5: the preemption study's streaming twin tracks the exact
-    // quickselect study over identical draws.
-    let exact_study = PreemptionStudy::run(4_000, seed);
-    let stream_study = PreemptionStudy::stream(4_000, seed);
+    // quickselect study over identical draws. The two studies are
+    // independent whole-fleet passes, so they ride the same pool as a
+    // two-shard fan-out (study order, like host order, is fixed).
+    let studies = par::run_hosts(2, seed, |which| {
+        if which == 0 {
+            PreemptionStudy::run(4_000, seed)
+        } else {
+            PreemptionStudy::stream(4_000, seed)
+        }
+    });
+    let (exact_study, stream_study) = (&studies[0], &studies[1]);
     let mut worst_study_err = 0.0f64;
     for h in 0..24 {
         for (a, b) in [
@@ -1388,9 +1478,113 @@ pub fn fleet_scale(seed: u64) -> String {
     out
 }
 
+/// Base RNG stream selector for region guest exit-rate draws (distinct
+/// from the fleet census base so the two experiments never share
+/// draws).
+const REGION_EXIT_STREAM: u64 = 0xbe91;
+/// Base RNG stream selector for region per-host operations (preemption
+/// pressure probes).
+const REGION_OPS_STREAM: u64 = 0x09b5;
+
+/// Renders the region census: hundreds of hosts, each running a full
+/// day of live operations — initial guest placement, diurnal
+/// replacement churn, an exit-rate census over every admitted guest,
+/// and hourly preemption pressure probes — fanned out host-by-host
+/// across [`par::run_hosts`] and folded in host-index order. This is
+/// the on-ramp to the ROADMAP region-scale scenario: per-host work is
+/// a pure function of the host index, so the report is byte-identical
+/// at every `--jobs` width.
+pub fn region_census(seed: u64) -> String {
+    const HOSTS: usize = 200;
+    const GUESTS_PER_HOST: u64 = 480;
+    const THRESHOLDS: [f64; 3] = [10_000.0, 50_000.0, 100_000.0];
+
+    let days = par::run_hosts(HOSTS, seed, |host| {
+        RegionHostDay::run(
+            GUESTS_PER_HOST,
+            &THRESHOLDS,
+            seed,
+            par::host_stream(REGION_EXIT_STREAM, host),
+            par::host_stream(REGION_OPS_STREAM, host),
+        )
+    });
+    // Host-index-ordered fold into the region-wide view.
+    let mut region = days[0].clone();
+    for day in &days[1..] {
+        region.merge(day);
+    }
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Region census: {HOSTS} hosts x {GUESTS_PER_HOST} guests/host, 24 h diurnal churn (seed {seed})"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "fleet: admitted {} | departed {} | peak concurrent/host {} | guest-hours {}",
+        region.arrivals, region.departures, region.peak_guests, region.guest_hours
+    )
+    .unwrap();
+    writeln!(out, "exit-rate census over every admitted guest:").unwrap();
+    writeln!(
+        out,
+        "{:>12} | {:>14} | {:>10}",
+        "# of exits", "percent of VMs", "paper"
+    )
+    .unwrap();
+    let paper = [3.82, 0.37, 0.13];
+    for ((threshold, pct), paper_pct) in region.census.rows().into_iter().zip(paper) {
+        writeln!(
+            out,
+            "{:>11}K | {:>13.2}% | {:>9.2}%",
+            threshold as u64 / 1000,
+            pct,
+            paper_pct
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "exit-rate percentiles: p50 {:.0} | p99 {:.0} | p99.9 {:.0}",
+        region.census.rate_percentile(50.0),
+        region.census.rate_percentile(99.0),
+        region.census.rate_percentile(99.9)
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "preemption pressure ({} probes/class): shared p99 {:.2}% p99.9 {:.2}% | exclusive p99 {:.3}% p99.9 {:.3}%",
+        region.preempt_samples(),
+        region.shared_preempt_percentile(99.0),
+        region.shared_preempt_percentile(99.9),
+        region.exclusive_preempt_percentile(99.0),
+        region.exclusive_preempt_percentile(99.9)
+    )
+    .unwrap();
+    // Host-ordered shard trace: the first and last hosts' days, as the
+    // merged report's per-shard sections (host order, never completion
+    // order).
+    writeln!(out, "per-host shards (host order, first 4 and last):").unwrap();
+    for h in [0usize, 1, 2, 3, HOSTS - 1] {
+        let day = &days[h];
+        writeln!(
+            out,
+            "  host {h:>4}: admitted {:>4} | departed {:>4} | peak {:>3} | >10K {:>5.2}% | shared p99 {:.2}%",
+            day.arrivals,
+            day.departures,
+            day.peak_guests,
+            day.census.rows()[0].1,
+            day.shared_preempt_percentile(99.0)
+        )
+        .unwrap();
+    }
+    out
+}
+
 /// Every experiment in paper order: `(id, rendered output)`.
 /// Every experiment id, in the paper's presentation order.
-pub const EXPERIMENT_IDS: [&str; 25] = [
+pub const EXPERIMENT_IDS: [&str; 26] = [
     "table1",
     "table2",
     "fig1",
@@ -1416,7 +1610,14 @@ pub const EXPERIMENT_IDS: [&str; 25] = [
     "traffic_policies",
     "traffic_isolation",
     "fleet_scale",
+    "region_census",
 ];
+
+/// Experiments whose inner work fans out across [`par::run_hosts`] —
+/// the ones `--jobs N` accelerates (with byte-identical output). The
+/// CLI and bench harness consult this list to decide where a parallel
+/// timing pass is meaningful.
+pub const PARALLEL_EXPERIMENT_IDS: [&str; 2] = ["fleet_scale", "region_census"];
 
 /// Runs one experiment by id. Returns `None` for unknown ids.
 ///
@@ -1450,8 +1651,36 @@ pub fn run_experiment(id: &str, seed: u64) -> Option<String> {
         "traffic_policies" => traffic_policies(seed),
         "traffic_isolation" => traffic_isolation(seed),
         "fleet_scale" => fleet_scale(seed),
+        "region_census" => region_census(seed),
         _ => return None,
     })
+}
+
+/// Runs one experiment by id, rendering into a caller-provided buffer.
+/// Returns `false` for unknown ids (the buffer is left untouched).
+///
+/// The one-shot, seed-free experiments render straight into `out`
+/// with no intermediate `String`, so a warmed buffer (rendered once,
+/// then cleared — `clear` keeps capacity) makes the re-render
+/// allocation-free. That is what the bench harness meters for
+/// `allocs_per_event`: steady-state allocations, not buffer growth.
+/// Seeded experiments fall back to [`run_experiment`] and append.
+pub fn run_experiment_into(id: &str, seed: u64, out: &mut String) -> bool {
+    match id {
+        "table1" => table1_into(out),
+        "table3" => table3_into(out),
+        "cost" => cost_into(out),
+        "nested" => nested_into(out),
+        "iobond" => iobond_into(out),
+        "asic" => asic_into(out),
+        "offload" => offload_into(out),
+        "sgx" => sgx_into(out),
+        _ => match run_experiment(id, seed) {
+            Some(text) => out.push_str(&text),
+            None => return false,
+        },
+    }
+    true
 }
 
 /// Runs every experiment (in order), rendering each.

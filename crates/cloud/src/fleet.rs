@@ -19,7 +19,7 @@
 
 use bmhive_cpu::virt::{diurnal_load, ExitRatePopulation, PreemptionModel, PreemptionSampler};
 use bmhive_sim::stats::exact_percentile_into;
-use bmhive_sim::{Histogram, SimRng};
+use bmhive_sim::{BatchRunner, EventQueue, Histogram, SimRng, SimTime};
 use bmhive_telemetry as telemetry;
 
 /// A deterministic stream of per-VM exit rates (exits/s/vCPU), drawn
@@ -38,12 +38,25 @@ pub struct ExitRateStream {
 }
 
 impl ExitRateStream {
+    /// The base RNG stream selector for the whole-fleet census; host-
+    /// sharded fleets derive one per-host selector from this base so
+    /// host `k`'s guests are a pure function of `(seed, k)`.
+    pub const CENSUS_STREAM: u64 = 0xce15;
+
     /// The production population, seeded; the first `n` draws match
     /// the first `n` draws of any other stream with the same seed.
     pub fn production(seed: u64) -> Self {
+        ExitRateStream::production_on(seed, Self::CENSUS_STREAM)
+    }
+
+    /// The production population on an explicit RNG stream selector.
+    /// Host-sharded fleets pass a per-host selector derived from the
+    /// host index, so guest draws are placement-independent: host `k`
+    /// produces the same guests whichever worker runs it.
+    pub fn production_on(seed: u64, stream: u64) -> Self {
         ExitRateStream {
             pop: ExitRatePopulation::production(),
-            rng: SimRng::with_stream(seed, 0xce15),
+            rng: SimRng::with_stream(seed, stream),
         }
     }
 
@@ -107,8 +120,14 @@ impl ExitCensus {
     /// Runs a census of `vms` VMs against `thresholds`, piping the
     /// seeded production stream through [`Self::observe`].
     pub fn run(vms: u64, thresholds: &[f64], seed: u64) -> Self {
+        ExitCensus::run_on(vms, thresholds, seed, ExitRateStream::CENSUS_STREAM)
+    }
+
+    /// Runs a census over the production stream on an explicit RNG
+    /// stream selector — one host's shard of a host-sharded fleet.
+    pub fn run_on(vms: u64, thresholds: &[f64], seed: u64, stream: u64) -> Self {
         let mut census = ExitCensus::new(thresholds);
-        let mut stream = ExitRateStream::production(seed);
+        let mut stream = ExitRateStream::production_on(seed, stream);
         // Chunked bulk draws: same rates in the same order as the
         // iterator, one fixed scratch instead of a call per guest.
         let mut chunk = [0.0f64; FILL_CHUNK];
@@ -124,6 +143,29 @@ impl ExitCensus {
         telemetry::add_events(vms);
         telemetry::counter("fleet.guests_censused", vms);
         census
+    }
+
+    /// Folds another census (over the same thresholds) into this one:
+    /// threshold counts and totals add, rate histograms merge
+    /// bucket-wise. Bucket counts make the merge order-independent;
+    /// the histogram's float `sum` (behind [`Self::rate_mean`]) is the
+    /// one order-sensitive term, so deterministic reductions fold
+    /// host shards in host-index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two censuses were built over different
+    /// thresholds — merging them would silently misattribute counts.
+    pub fn merge(&mut self, other: &ExitCensus) {
+        assert_eq!(
+            self.thresholds, other.thresholds,
+            "censuses over different thresholds cannot merge"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.rates.merge(&other.rates);
+        self.total += other.total;
     }
 
     /// `(threshold, percent of VMs above it)` rows, as Table 2 prints.
@@ -178,13 +220,32 @@ const STREAM_PCT_SCALE: f64 = 1024.0;
 impl PreemptionStudy {
     /// Records `vms` shared and `vms` exclusive VMs for 24 hours and
     /// reports the Fig. 1 percentiles per hour.
+    ///
+    /// The day runs as an event simulation: each hour is one tick with
+    /// two class-sample events (shared, then exclusive — FIFO within
+    /// the tick), drained through a [`BatchRunner`] so the batch
+    /// bookkeeping is metered (`sim.batch_ticks`/`sim.batch_events`,
+    /// mean batch length 2). The RNG draw order and every float
+    /// operation match the plain hour loop exactly, so the percentiles
+    /// are bit-identical to it — and to [`Self::stream`]'s draws.
     pub fn run(vms: usize, seed: u64) -> Self {
+        /// One population's sample pass for one hour.
+        enum ClassTick {
+            Shared(u32),
+            Exclusive(u32),
+        }
+        struct DayState {
+            queue: EventQueue<ClassTick>,
+            rng: SimRng,
+            s: Vec<f64>,
+            e: Vec<f64>,
+            scratch: Vec<f64>,
+        }
         // Hoist the per-sample constants: one ln() per model and one
         // cos() per hour instead of one of each per VM-sample. The
         // samplers draw bit-identical values to the unhoisted models.
         let shared = PreemptionModel::shared().sampler();
         let exclusive = PreemptionModel::exclusive().sampler();
-        let mut rng = SimRng::with_stream(seed, 0xf161);
         let mut out = PreemptionStudy {
             hours: (0..24).collect(),
             shared_p99: Vec::with_capacity(24),
@@ -197,28 +258,50 @@ impl PreemptionStudy {
         // hours cost three allocations total instead of six per hour.
         // The values entering `exact_percentile_into` are unchanged,
         // so the reported percentiles stay bit-identical.
-        let mut s: Vec<f64> = vec![0.0; vms];
-        let mut e: Vec<f64> = vec![0.0; vms];
-        let mut scratch: Vec<f64> = Vec::with_capacity(vms);
+        let mut day = DayState {
+            queue: EventQueue::new(),
+            rng: SimRng::with_stream(seed, 0xf161),
+            s: vec![0.0; vms],
+            e: vec![0.0; vms],
+            scratch: Vec::with_capacity(vms),
+        };
         for hour in 0..24 {
-            let load = diurnal_load(hour);
-            // Bulk draws: bit-identical to the per-VM sampling loop
-            // (the `* 100.0` percent scaling applied after, exactly as
-            // the single-sample expression ordered it).
-            shared.fill_at_load(&mut rng, load, &mut s);
-            exclusive.fill_at_load(&mut rng, load, &mut e);
-            for v in s.iter_mut().chain(e.iter_mut()) {
-                *v *= 100.0;
-            }
-            out.shared_p99
-                .push(exact_percentile_into(&s, 99.0, &mut scratch));
-            out.shared_p999
-                .push(exact_percentile_into(&s, 99.9, &mut scratch));
-            out.exclusive_p99
-                .push(exact_percentile_into(&e, 99.0, &mut scratch));
-            out.exclusive_p999
-                .push(exact_percentile_into(&e, 99.9, &mut scratch));
+            let at = SimTime::from_secs(u64::from(hour) * 3600);
+            day.queue.schedule(at, ClassTick::Shared(hour));
+            day.queue.schedule(at, ClassTick::Exclusive(hour));
         }
+        let mut runner = BatchRunner::with_capacity(2);
+        runner.run(
+            &mut day,
+            |d| &mut d.queue,
+            |d, _now, ev| match ev {
+                // Bulk draws: bit-identical to the per-VM sampling
+                // loop (the `* 100.0` percent scaling applied after,
+                // exactly as the single-sample expression ordered it).
+                ClassTick::Shared(hour) => {
+                    shared.fill_at_load(&mut d.rng, diurnal_load(hour), &mut d.s);
+                    for v in d.s.iter_mut() {
+                        *v *= 100.0;
+                    }
+                    out.shared_p99
+                        .push(exact_percentile_into(&d.s, 99.0, &mut d.scratch));
+                    out.shared_p999
+                        .push(exact_percentile_into(&d.s, 99.9, &mut d.scratch));
+                }
+                ClassTick::Exclusive(hour) => {
+                    exclusive.fill_at_load(&mut d.rng, diurnal_load(hour), &mut d.e);
+                    for v in d.e.iter_mut() {
+                        *v *= 100.0;
+                    }
+                    out.exclusive_p99
+                        .push(exact_percentile_into(&d.e, 99.0, &mut d.scratch));
+                    out.exclusive_p999
+                        .push(exact_percentile_into(&d.e, 99.9, &mut d.scratch));
+                }
+            },
+        );
+        telemetry::counter("sim.batch_ticks", runner.ticks());
+        telemetry::counter("sim.batch_events", runner.events());
         telemetry::add_events(2 * vms as u64 * 24);
         out
     }
@@ -266,6 +349,159 @@ impl PreemptionStudy {
         }
         telemetry::add_events(2 * vms as u64 * 24);
         out
+    }
+}
+
+/// Preemption probes drawn per class per hour by a
+/// [`RegionHostDay`] — a bounded pressure sample, not a full-fleet
+/// sweep, so a host's day costs O(1) memory and O(guests) time.
+const PREEMPT_PROBES: usize = 128;
+
+/// One host's day of live region operations: an exit-rate census over
+/// every guest that ran on the host, diurnal replacement churn
+/// (arrivals and departures tracking the load curve), and an hourly
+/// preemption pressure sample per scheduling class.
+///
+/// This is the unit of work the host-sharded `region_census`
+/// experiment fans out: each host's day is a pure function of
+/// `(seed, exit_stream, ops_stream)` — derive the two stream selectors
+/// from the host index and the day is placement-independent. Days
+/// [`merge`](Self::merge) associatively (counts add, histograms merge
+/// bucket-wise), with the usual caveat that float sums pin the
+/// canonical fold order to host index.
+#[derive(Debug, Clone)]
+pub struct RegionHostDay {
+    /// Exit-rate census over every guest admitted to this host.
+    pub census: ExitCensus,
+    /// Guests admitted over the day (including the initial placement).
+    pub arrivals: u64,
+    /// Guests drained over the day.
+    pub departures: u64,
+    /// Peak concurrent guests.
+    pub peak_guests: u64,
+    /// Sum over hours of concurrent guests (the density integral).
+    pub guest_hours: u64,
+    /// Shared-class preemption pressure samples (percent, scaled by
+    /// [`STREAM_PCT_SCALE`]).
+    shared_preempt: Histogram,
+    /// Exclusive-class preemption pressure samples (same scaling).
+    exclusive_preempt: Histogram,
+}
+
+impl RegionHostDay {
+    /// Runs one host's day: an initial placement of `guests`, then 24
+    /// hours of diurnal churn — occupancy tracks
+    /// `guests × (0.85 + 0.30 × load)` with ~2 %-per-hour replacement
+    /// churn on top — censusing every admitted guest's exit rate and
+    /// probing preemption pressure each hour.
+    ///
+    /// `exit_stream` seeds the guest exit-rate draws and `ops_stream`
+    /// the preemption probes; both are RNG stream *selectors* (derive
+    /// them per host), so the day never consumes draws any other host
+    /// observes.
+    pub fn run(
+        guests: u64,
+        thresholds: &[f64],
+        seed: u64,
+        exit_stream: u64,
+        ops_stream: u64,
+    ) -> Self {
+        let mut exits = ExitRateStream::production_on(seed, exit_stream);
+        let mut ops_rng = SimRng::with_stream(seed, ops_stream);
+        let shared = PreemptionModel::shared().sampler();
+        let exclusive = PreemptionModel::exclusive().sampler();
+        let mut day = RegionHostDay {
+            census: ExitCensus::new(thresholds),
+            arrivals: 0,
+            departures: 0,
+            peak_guests: 0,
+            guest_hours: 0,
+            shared_preempt: Histogram::new(),
+            exclusive_preempt: Histogram::new(),
+        };
+        let mut chunk = [0.0f64; FILL_CHUNK];
+        let mut admit = |day: &mut RegionHostDay, n: u64| {
+            let mut left = n as usize;
+            while left > 0 {
+                let take = left.min(FILL_CHUNK);
+                exits.fill(&mut chunk[..take]);
+                for &rate in &chunk[..take] {
+                    day.census.observe(rate);
+                }
+                left -= take;
+            }
+            day.arrivals += n;
+        };
+        let mut occupancy = guests;
+        admit(&mut day, guests);
+        day.peak_guests = occupancy;
+        for hour in 0..24 {
+            let load = diurnal_load(hour);
+            // Replacement churn plus a drift term that walks occupancy
+            // to the diurnal target — both deterministic in the load
+            // curve, so churn volume is a pure function of the hour.
+            let target = ((guests as f64) * (0.85 + 0.30 * load)).round() as u64;
+            let churn = ((guests as f64 * 0.02 * load).round() as u64).max(1);
+            let (growth, shrink) = if target > occupancy {
+                (target - occupancy, 0)
+            } else {
+                (0, occupancy - target)
+            };
+            let departures = (churn + shrink).min(occupancy);
+            occupancy -= departures;
+            day.departures += departures;
+            admit(&mut day, churn + growth);
+            occupancy += churn + growth;
+            day.peak_guests = day.peak_guests.max(occupancy);
+            day.guest_hours += occupancy;
+            // Hourly preemption pressure probe, both classes.
+            for _ in 0..PREEMPT_PROBES {
+                day.shared_preempt
+                    .record(shared.sample_at_load(&mut ops_rng, load) * 100.0 * STREAM_PCT_SCALE);
+            }
+            for _ in 0..PREEMPT_PROBES {
+                day.exclusive_preempt.record(
+                    exclusive.sample_at_load(&mut ops_rng, load) * 100.0 * STREAM_PCT_SCALE,
+                );
+            }
+        }
+        telemetry::add_events(day.arrivals + (2 * PREEMPT_PROBES * 24) as u64);
+        telemetry::counter("region.arrivals", day.arrivals);
+        telemetry::counter("region.departures", day.departures);
+        telemetry::counter("region.guest_hours", day.guest_hours);
+        telemetry::gauge_max("region.peak_guests_per_host", day.peak_guests as f64);
+        day
+    }
+
+    /// Folds another host's day into this one: censuses merge, churn
+    /// counters add, peaks take the max, preemption histograms merge
+    /// bucket-wise. Fold host shards in host-index order so the float
+    /// terms are byte-stable.
+    pub fn merge(&mut self, other: &RegionHostDay) {
+        self.census.merge(&other.census);
+        self.arrivals += other.arrivals;
+        self.departures += other.departures;
+        self.peak_guests = self.peak_guests.max(other.peak_guests);
+        self.guest_hours += other.guest_hours;
+        self.shared_preempt.merge(&other.shared_preempt);
+        self.exclusive_preempt.merge(&other.exclusive_preempt);
+    }
+
+    /// A percentile of the shared-class preemption pressure samples,
+    /// in percent.
+    pub fn shared_preempt_percentile(&self, p: f64) -> f64 {
+        self.shared_preempt.percentile(p) / STREAM_PCT_SCALE
+    }
+
+    /// A percentile of the exclusive-class preemption pressure
+    /// samples, in percent.
+    pub fn exclusive_preempt_percentile(&self, p: f64) -> f64 {
+        self.exclusive_preempt.percentile(p) / STREAM_PCT_SCALE
+    }
+
+    /// Preemption probes recorded per class.
+    pub fn preempt_samples(&self) -> u64 {
+        self.shared_preempt.count()
     }
 }
 
@@ -397,6 +633,100 @@ mod tests {
         let b = PreemptionStudy::stream(2_000, 9);
         assert_eq!(a.shared_p99, b.shared_p99);
         assert_eq!(a.exclusive_p999, b.exclusive_p999);
+    }
+
+    #[test]
+    fn sharded_census_merge_matches_a_single_stream_census() {
+        // Two hosts censusing disjoint streams merge into exactly the
+        // sum of their parts: counts, totals, and histogram buckets.
+        let thresholds = [10_000.0, 50_000.0, 100_000.0];
+        let a = ExitCensus::run_on(4_000, &thresholds, 5, 0x1111);
+        let b = ExitCensus::run_on(6_000, &thresholds, 5, 0x2222);
+        let mut merged = ExitCensus::new(&thresholds);
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged.total(), 10_000);
+        let rows = merged.rows();
+        let (ra, rb) = (a.rows(), b.rows());
+        for i in 0..thresholds.len() {
+            let expect = 100.0 * (ra[i].1 / 100.0 * 4_000.0 + rb[i].1 / 100.0 * 6_000.0) / 10_000.0;
+            assert!((rows[i].1 - expect).abs() < 1e-9, "row {i}");
+        }
+        // Merging in either order gives identical bucket counts (the
+        // percentile read-out never touches the float sum).
+        let mut swapped = ExitCensus::new(&thresholds);
+        swapped.merge(&b);
+        swapped.merge(&a);
+        assert_eq!(merged.rate_percentile(99.0), swapped.rate_percentile(99.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "different thresholds")]
+    fn census_merge_rejects_mismatched_thresholds() {
+        let mut a = ExitCensus::new(&[1.0]);
+        let b = ExitCensus::new(&[2.0]);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn production_on_default_stream_matches_production() {
+        let mut a = ExitRateStream::production(7);
+        let mut b = ExitRateStream::production_on(7, ExitRateStream::CENSUS_STREAM);
+        let mut xs = [0.0; 64];
+        let mut ys = [0.0; 64];
+        a.fill(&mut xs);
+        b.fill(&mut ys);
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn region_host_day_is_deterministic_and_placement_independent() {
+        let day = |seed| RegionHostDay::run(500, &[10_000.0, 50_000.0], seed, 0xaaaa, 0xbbbb);
+        let a = day(11);
+        let b = day(11);
+        assert_eq!(a.arrivals, b.arrivals);
+        assert_eq!(a.census.rows(), b.census.rows());
+        assert_eq!(
+            a.shared_preempt_percentile(99.0),
+            b.shared_preempt_percentile(99.0)
+        );
+        let c = day(12);
+        assert_ne!(a.census.rows(), c.census.rows());
+    }
+
+    #[test]
+    fn region_host_day_tracks_the_diurnal_curve() {
+        let day = RegionHostDay::run(500, &[10_000.0], 3, 0xaaaa, 0xbbbb);
+        // Initial placement plus 24 hours of churn.
+        assert!(day.arrivals > 500);
+        assert!(day.departures > 0);
+        // Peak occupancy reaches the high-load target — diurnal load
+        // tops out at 1.5, so target = guests × (0.85 + 0.30 × 1.5) =
+        // 1.3 × guests — and never exceeds it.
+        assert!(day.peak_guests >= 500, "peak {}", day.peak_guests);
+        assert!(day.peak_guests <= 650, "peak {}", day.peak_guests);
+        assert_eq!(day.preempt_samples(), 128 * 24);
+        // Shared-class preemption pressure dominates exclusive, as in
+        // Fig. 1.
+        assert!(day.shared_preempt_percentile(99.0) > day.exclusive_preempt_percentile(99.0));
+    }
+
+    #[test]
+    fn region_host_days_merge_like_their_parts() {
+        let thresholds = [10_000.0, 50_000.0];
+        let a = RegionHostDay::run(300, &thresholds, 5, 0x10, 0x11);
+        let b = RegionHostDay::run(400, &thresholds, 5, 0x20, 0x21);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.arrivals, a.arrivals + b.arrivals);
+        assert_eq!(merged.departures, a.departures + b.departures);
+        assert_eq!(merged.guest_hours, a.guest_hours + b.guest_hours);
+        assert_eq!(merged.peak_guests, a.peak_guests.max(b.peak_guests));
+        assert_eq!(merged.census.total(), a.census.total() + b.census.total());
+        assert_eq!(
+            merged.preempt_samples(),
+            a.preempt_samples() + b.preempt_samples()
+        );
     }
 
     #[test]

@@ -117,37 +117,57 @@ impl ServiceProfile {
         self.provider_controls_io
     }
 
-    /// One Table 1 row: (service, security, isolation, performance,
-    /// density) as short verdict strings.
-    pub fn table_row(&self) -> (String, String, String, String, String) {
+    /// One Table 1 row without allocating: (service, security,
+    /// isolation, performance) as static verdict strings plus the
+    /// tenants-per-server count (render as `"{n} tenant(s)/server"`).
+    pub fn table_row_parts(&self) -> (&'static str, &'static str, &'static str, &'static str, u32) {
         let service = match self.kind {
             ServiceKind::VmBased => "VM-based cloud",
             ServiceKind::SingleTenantBareMetal => "Single-tenant bare-metal",
             ServiceKind::BmHive => "BM-Hive",
         };
         let security = if self.side_channel_exposed() {
-            "side-channel and DoS exposed (shared hardware)".to_string()
+            "side-channel and DoS exposed (shared hardware)"
         } else if self.provider_exposed_to_tenant() {
-            "tenant owns platform firmware (provider at risk)".to_string()
+            "tenant owns platform firmware (provider at risk)"
         } else {
-            "hardware-isolated; firmware signed and protected".to_string()
+            "hardware-isolated; firmware signed and protected"
         };
         let isolation = if self.hardware_isolated && !self.provider_exposed_to_tenant() {
-            "strong (hardware)".to_string()
+            "strong (hardware)"
         } else if self.hardware_isolated {
-            "strong but moot (tenant owns the box)".to_string()
+            "strong but moot (tenant owns the box)"
         } else {
-            "weak (software, shared resources)".to_string()
+            "weak (software, shared resources)"
         };
         let perf = if self.virtualizes_cpu_memory {
-            "virtualization overhead on CPU/memory/I/O".to_string()
+            "virtualization overhead on CPU/memory/I/O"
         } else if self.provider_controls_io {
-            "native CPU/memory; para-virtual I/O".to_string()
+            "native CPU/memory; para-virtual I/O"
         } else {
-            "native".to_string()
+            "native"
         };
-        let density = format!("{} tenant(s)/server", self.max_tenants_per_server);
-        (service.to_string(), security, isolation, perf, density)
+        (
+            service,
+            security,
+            isolation,
+            perf,
+            self.max_tenants_per_server,
+        )
+    }
+
+    /// One Table 1 row: (service, security, isolation, performance,
+    /// density) as short verdict strings. Owned-`String` convenience
+    /// wrapper over [`table_row_parts`](Self::table_row_parts).
+    pub fn table_row(&self) -> (String, String, String, String, String) {
+        let (service, security, isolation, perf, tenants) = self.table_row_parts();
+        (
+            service.to_string(),
+            security.to_string(),
+            isolation.to_string(),
+            perf.to_string(),
+            format!("{tenants} tenant(s)/server"),
+        )
     }
 }
 

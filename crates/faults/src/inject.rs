@@ -204,6 +204,27 @@ impl FaultStats {
         self.injected.values().sum()
     }
 
+    /// Folds `other` into this record, adding every per-site counter.
+    /// All maps are `BTreeMap`s so merging is order-independent; the
+    /// host-sharded executor still folds worker stats in host-index
+    /// order for uniformity with the (order-sensitive) telemetry fold.
+    pub fn merge_from(&mut self, other: &FaultStats) {
+        let fold = |dst: &mut BTreeMap<String, u64>, src: &BTreeMap<String, u64>| {
+            for (k, &v) in src {
+                *dst.entry(k.clone()).or_insert(0) += v;
+            }
+        };
+        fold(&mut self.injected, &other.injected);
+        fold(&mut self.retries, &other.retries);
+        fold(&mut self.recovered, &other.recovered);
+        fold(&mut self.escalated, &other.escalated);
+        fold(&mut self.escalated_ops, &other.escalated_ops);
+        fold(&mut self.resets, &other.resets);
+        fold(&mut self.replayed, &other.replayed);
+        fold(&mut self.shed, &other.shed);
+        fold(&mut self.degraded_ns, &other.degraded_ns);
+    }
+
     /// Per-site recovery outcome as `(recovered, unrecovered)` counts.
     ///
     /// A site's recovered count is its retry-loop recoveries plus its
@@ -370,6 +391,27 @@ pub fn armed_plan_name() -> Option<String> {
         return None;
     }
     with_context(None, |ctx| Some(ctx.plan.name.clone()))
+}
+
+/// A clone of the armed plan, if any. The host-sharded executor uses
+/// this to arm each worker with the same plan (under a host-derived
+/// backoff stream) so per-host work sees the faults the orchestrating
+/// thread would have seen.
+pub fn armed_plan() -> Option<FaultPlan> {
+    if !is_armed() {
+        return None;
+    }
+    with_context(None, |ctx| Some(ctx.plan.clone()))
+}
+
+/// Folds a worker's [`FaultStats`] into this thread's armed context.
+/// No-op when nothing is armed (workers only produce stats when the
+/// orchestrating thread had a plan armed, so nothing is lost).
+pub fn absorb_stats(stats: &FaultStats) {
+    if !is_armed() {
+        return;
+    }
+    with_context((), |ctx| ctx.stats.merge_from(stats));
 }
 
 /// If a blocking window fault covers `now` at `site`, returns when the

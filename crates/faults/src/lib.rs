@@ -47,9 +47,9 @@ pub mod plan;
 pub mod retry;
 
 pub use inject::{
-    arm, armed_plan_name, blocking_until, corrupted, disarm, install, is_armed, latency_factor,
-    note_degraded, note_escalated, note_replayed, note_reset, note_shed, retry_until_clear, stats,
-    take, take_oneshot, FaultContext, FaultStats, Recovery, COMPONENT,
+    absorb_stats, arm, armed_plan, armed_plan_name, blocking_until, corrupted, disarm, install,
+    is_armed, latency_factor, note_degraded, note_escalated, note_replayed, note_reset, note_shed,
+    retry_until_clear, stats, take, take_oneshot, FaultContext, FaultStats, Recovery, COMPONENT,
 };
 pub use plan::{
     backend_brownout, board_loss, canned, dma_timeout, link_flap, FaultEvent, FaultKind, FaultPlan,

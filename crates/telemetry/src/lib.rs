@@ -159,6 +159,26 @@ pub fn snapshot() -> Snapshot {
     })
 }
 
+/// Folds a worker thread's [`Snapshot`] into the *current* thread's
+/// collector state: the registry merges via [`Registry::merge_from`]
+/// and the worker's simulated-event tally is added to this thread's.
+/// No-op while disabled.
+///
+/// This is the reduction side of host-sharded execution: each worker
+/// records into its own thread-local registry (deterministic, lock
+/// free), snapshots, and the orchestrating thread absorbs the
+/// snapshots **in host-index order** so timer-histogram float sums are
+/// byte-identical regardless of which worker finished first. Worker
+/// span events are not replayed into the parent trace — per-host work
+/// reports through metrics, and host-ordered report sections carry the
+/// per-host story instead.
+pub fn absorb(worker: &Snapshot) {
+    if is_enabled() {
+        EVENT_TALLY.with(|t| t.set(t.get() + worker.sim_events));
+        with_global(|g| g.registry.merge_from(&worker.registry));
+    }
+}
+
 /// Records a complete span. No-op while disabled.
 #[inline]
 pub fn span(
@@ -381,6 +401,51 @@ mod tests {
         set_enabled(false);
         assert_eq!(snap.sim_events, 10);
         assert_eq!(cleared, 0);
+    }
+
+    #[test]
+    fn absorb_folds_worker_snapshots_into_this_thread() {
+        set_enabled(true);
+        reset();
+        counter("ops", 1);
+        add_events(10);
+        let worker = std::thread::spawn(|| {
+            set_enabled(true);
+            reset();
+            counter("ops", 4);
+            gauge_max("depth", 9.0);
+            timer("lat", SimDuration::from_micros(5));
+            add_events(32);
+            let snap = snapshot();
+            set_enabled(false);
+            snap
+        })
+        .join()
+        .unwrap();
+        absorb(&worker);
+        let merged = snapshot();
+        set_enabled(false);
+        assert_eq!(merged.registry.counter("ops"), 5);
+        assert_eq!(merged.registry.gauge("depth"), Some(9.0));
+        assert_eq!(merged.registry.timer("lat").unwrap().count(), 1);
+        assert_eq!(merged.sim_events, 42);
+    }
+
+    #[test]
+    fn absorb_is_a_noop_while_disabled() {
+        set_enabled(false);
+        reset();
+        let mut foreign = Registry::new();
+        foreign.counter_add("c", 3);
+        let snap = Snapshot {
+            events: Vec::new(),
+            registry: foreign,
+            dropped: 0,
+            sim_events: 11,
+        };
+        absorb(&snap);
+        assert!(snapshot().registry.is_empty());
+        assert_eq!(snapshot().sim_events, 0);
     }
 
     #[test]

@@ -100,6 +100,27 @@ impl Registry {
         self.timers.iter().map(|(k, v)| (k.as_str(), v))
     }
 
+    /// Folds `other` into this registry: counters add, peak-tracking
+    /// gauges keep the higher reading, timers merge bucket-wise via
+    /// [`Histogram::merge`].
+    ///
+    /// Counter and gauge merging is order-independent. Timer merging
+    /// is bucket-exact but the histogram's floating-point `sum` makes
+    /// it order-*sensitive* at the ULP level, so deterministic callers
+    /// (the host-sharded executor) must fold worker registries in a
+    /// canonical order — host index — regardless of completion order.
+    pub fn merge_from(&mut self, other: &Registry) {
+        for (name, &v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, &v) in &other.gauges {
+            self.gauge_max(name, v);
+        }
+        for (name, h) in &other.timers {
+            self.timers.entry(name.clone()).or_default().merge(h);
+        }
+    }
+
     /// Whether nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.timers.is_empty()
@@ -214,6 +235,44 @@ mod tests {
         assert!(text.contains("7"));
         assert!(text.contains("timers"));
         assert_eq!(Registry::new().to_text(), "(no metrics recorded)\n");
+    }
+
+    #[test]
+    fn merge_from_adds_counters_maxes_gauges_merges_timers() {
+        let mut a = Registry::new();
+        a.counter_add("shared", 2);
+        a.counter_add("only_a", 1);
+        a.gauge_max("peak", 5.0);
+        a.timer_record("t", SimDuration::from_micros(10));
+
+        let mut b = Registry::new();
+        b.counter_add("shared", 3);
+        b.counter_add("only_b", 7);
+        b.gauge_max("peak", 9.0);
+        b.gauge_max("only_b_gauge", 1.5);
+        b.timer_record("t", SimDuration::from_micros(30));
+        b.timer_record("u", SimDuration::from_micros(1));
+
+        a.merge_from(&b);
+        assert_eq!(a.counter("shared"), 5);
+        assert_eq!(a.counter("only_a"), 1);
+        assert_eq!(a.counter("only_b"), 7);
+        assert_eq!(a.gauge("peak"), Some(9.0));
+        assert_eq!(a.gauge("only_b_gauge"), Some(1.5));
+        assert_eq!(a.timer("t").unwrap().count(), 2);
+        assert!((a.timer("t").unwrap().mean() - 20.0).abs() < 1e-9);
+        assert_eq!(a.timer("u").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn merge_from_empty_is_identity() {
+        let mut a = Registry::new();
+        a.counter_add("c", 4);
+        a.merge_from(&Registry::new());
+        assert_eq!(a.counter("c"), 4);
+        let mut empty = Registry::new();
+        empty.merge_from(&a);
+        assert_eq!(empty.counter("c"), 4);
     }
 
     #[test]
